@@ -1,0 +1,7 @@
+// Figure 11: Redis GET/SCAN mixes.
+#include "bench_kv_common.hpp"
+
+int main() {
+  return netclone::bench::run_kv_figure("Figure 11",
+                                        netclone::kv::redis_profile());
+}

@@ -1,0 +1,7 @@
+// Figure 12: Memcached GET/SCAN mixes.
+#include "bench_kv_common.hpp"
+
+int main() {
+  return netclone::bench::run_kv_figure("Figure 12",
+                                        netclone::kv::memcached_profile());
+}

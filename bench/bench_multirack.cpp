@@ -1,0 +1,87 @@
+// Multi-rack deployment (§3.7): the same workload served by two server
+// racks behind an LPM aggregation layer, with NetClone logic only at the
+// client-side ToR. The shapes of the single-rack evaluation must carry
+// over: near-baseline throughput with a lower tail at low/mid loads, and
+// no NetClone processing anywhere but ToR#1.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "harness/multirack.hpp"
+
+using namespace netclone;
+using namespace netclone::bench;
+
+int main() {
+  std::printf("Multi-rack: 1 client rack + 2 server racks (3x16 workers "
+              "each) behind an LPM aggregation layer, Exp(25)\n");
+
+  auto factory = std::make_shared<host::ExponentialWorkload>(25.0);
+  harness::MultiRackConfig cfg;
+  cfg.factory = factory;
+  cfg.service = std::make_shared<host::SyntheticService>(high_variability());
+  cfg.warmup = harness::scaled(SimTime::milliseconds(5));
+  cfg.measure = harness::scaled(SimTime::milliseconds(25));
+
+  const double capacity = harness::cluster_capacity_rps(
+      std::vector<std::uint32_t>(cfg.server_racks * cfg.servers_per_rack,
+                                 cfg.workers),
+      25.0 * high_variability().mean_inflation());
+
+  // Single-rack reference with the same 6 servers.
+  harness::ClusterConfig single =
+      synthetic_cluster(factory, high_variability());
+  single.scheme = harness::Scheme::kNetClone;
+
+  std::printf("\n== multi-rack NetClone vs single-rack NetClone ==\n");
+  std::printf("  %-12s %6s %10s %9s %9s %12s %10s\n", "topology", "load",
+              "KRPS", "p50(us)", "p99(us)", "cloned", "filtered");
+  harness::ShapeCheck check;
+  for (const double load : {0.2, 0.5, 0.8}) {
+    harness::MultiRackConfig mc = cfg;
+    mc.offered_rps = load * capacity;
+    mc.seed = 100 + static_cast<std::uint64_t>(load * 10);
+    harness::MultiRackExperiment multi{mc};
+    const auto mr = multi.run();
+
+    harness::ClusterConfig sc = single;
+    sc.offered_rps = load * capacity;
+    sc.seed = mc.seed;
+    harness::Experiment one{sc};
+    const auto sr = one.run();
+
+    std::printf("  %-12s %6.2f %10.1f %9.1f %9.1f %12llu %10llu\n",
+                "multi-rack", load, mr.achieved_rps / 1e3, mr.p50.us(),
+                mr.p99.us(),
+                static_cast<unsigned long long>(mr.cloned_requests),
+                static_cast<unsigned long long>(mr.filtered_responses));
+    std::printf("  %-12s %6.2f %10.1f %9.1f %9.1f %12llu %10llu\n",
+                "single-rack", load, sr.achieved_rps / 1e3, sr.p50.us(),
+                sr.p99.us(),
+                static_cast<unsigned long long>(sr.cloned_requests),
+                static_cast<unsigned long long>(sr.filtered_responses));
+
+    check.expect(mr.achieved_rps > 0.95 * sr.achieved_rps,
+                 "throughput parity at load " + std::to_string(load));
+    // The extra aggregation hop adds a fixed ~2.5 us each way.
+    check.expect(mr.p50.us() < sr.p50.us() + 8.0,
+                 "only fixed per-hop latency added at load " +
+                     std::to_string(load));
+    check.expect(mr.cloned_requests > 0 && mr.filtered_responses > 0,
+                 "cloning+filtering active across racks at load " +
+                     std::to_string(load));
+    // Server-side ToRs never ran NetClone logic.
+    bool foreign_only = true;
+    for (std::size_t r = 0; r < mc.server_racks; ++r) {
+      const auto& stats = multi.server_tor_program(r).stats();
+      foreign_only = foreign_only && stats.cloned_requests == 0 &&
+                     stats.responses == 0 &&
+                     stats.foreign_tor_packets > 0;
+    }
+    check.expect(foreign_only,
+                 "server-side ToRs only route (SWITCH_ID scoping) at "
+                 "load " +
+                     std::to_string(load));
+  }
+  check.report();
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Head-to-head of every implemented scheme on one workload — the
+// 30-second version of the paper's whole evaluation, plus a per-server
+// breakdown showing where the queueing actually happens.
+//
+//   ./build/examples/compare_all [load_fraction]
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "harness/experiment.hpp"
+#include "harness/report.hpp"
+#include "host/service.hpp"
+#include "host/workload.hpp"
+
+using namespace netclone;
+
+int main(int argc, char** argv) {
+  const double load = argc > 1 ? std::atof(argv[1]) : 0.5;
+
+  harness::ClusterConfig cfg;
+  cfg.server_workers = {16, 16, 16, 16, 16, 16};
+  cfg.factory = std::make_shared<host::ExponentialWorkload>(25.0);
+  cfg.service = std::make_shared<host::SyntheticService>(
+      host::JitterModel{0.01, 15.0, 0.08});
+  cfg.warmup = SimTime::milliseconds(5);
+  cfg.measure = SimTime::milliseconds(25);
+  const double capacity =
+      harness::cluster_capacity_rps(cfg.server_workers, 25.0 * 1.14);
+  cfg.offered_rps = load * capacity;
+
+  std::printf("all schemes, Exp(25) p=0.01, 6 servers x 16 workers, "
+              "offered %.0f%% of %.0f KRPS\n\n",
+              load * 100.0, capacity / 1e3);
+  std::printf("  %-19s %10s %9s %9s %10s %10s %10s %10s %11s\n", "scheme",
+              "KRPS", "p50(us)", "p99(us)", "waitP99", "svcP99", "cloned",
+              "filtered", "redundant");
+
+  for (const harness::Scheme scheme :
+       {harness::Scheme::kBaseline, harness::Scheme::kCClone,
+        harness::Scheme::kLaedge, harness::Scheme::kNetClone,
+        harness::Scheme::kNetCloneNoFilter, harness::Scheme::kRackSched,
+        harness::Scheme::kNetCloneRackSched}) {
+    cfg.scheme = scheme;
+    harness::Experiment experiment{cfg};
+    const harness::ExperimentResult r = experiment.run();
+    std::printf(
+        "  %-19s %10.1f %9.1f %9.1f %10.1f %10.1f %10llu %10llu %11llu\n",
+        harness::scheme_name(scheme), r.achieved_rps / 1e3, r.p50.us(),
+        r.p99.us(), r.server_wait_p99.us(), r.server_service_p99.us(),
+        static_cast<unsigned long long>(r.cloned_requests),
+        static_cast<unsigned long long>(r.filtered_responses),
+        static_cast<unsigned long long>(r.redundant_responses));
+
+    if (scheme == harness::Scheme::kNetClone) {
+      std::printf("      per-server view (NetClone):\n");
+      for (const host::Server* server : experiment.servers()) {
+        const auto& ss = server->stats();
+        std::printf(
+            "        srv%u: completed %7llu  stale-clone drops %6llu  "
+            "queue-wait p99 %7.1f us  max depth %zu\n",
+            value_of(server->sid()),
+            static_cast<unsigned long long>(ss.completed),
+            static_cast<unsigned long long>(ss.dropped_stale_clones),
+            ss.queue_wait.p99().us(), ss.max_queue_depth);
+      }
+    }
+  }
+  std::printf("\n(LAEDGE is expected to collapse here: this offered load "
+              "is far beyond one coordinator's CPU.)\n");
+  return 0;
+}

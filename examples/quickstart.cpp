@@ -1,0 +1,55 @@
+// Quickstart: build a simulated rack, run NetClone against the baseline on
+// the paper's default workload (Exp(25), p=0.01), and print tail latency,
+// cloning activity, and the switch resource audit.
+//
+//   ./build/examples/quickstart
+#include <cstdio>
+#include <memory>
+
+#include "harness/experiment.hpp"
+#include "harness/report.hpp"
+#include "host/service.hpp"
+#include "host/workload.hpp"
+#include "pisa/audit.hpp"
+
+using namespace netclone;
+
+int main() {
+  // The paper's default rack: 2 clients, 6 workers x 16 threads, one
+  // Tofino-class ToR switch.
+  harness::ClusterConfig cfg;
+  cfg.server_workers = {16, 16, 16, 16, 16, 16};
+  cfg.factory = std::make_shared<host::ExponentialWorkload>(25.0);
+  const host::JitterModel jitter{0.01, 15.0};
+  cfg.service = std::make_shared<host::SyntheticService>(jitter);
+  cfg.warmup = SimTime::milliseconds(5);
+  cfg.measure = SimTime::milliseconds(40);
+
+  const double capacity = harness::cluster_capacity_rps(
+      cfg.server_workers, 25.0 * jitter.mean_inflation());
+  cfg.offered_rps = 0.5 * capacity;  // a mid-load point
+
+  std::printf("cluster capacity ~= %.0f KRPS, offering 50%%\n",
+              capacity / 1e3);
+
+  for (const harness::Scheme scheme :
+       {harness::Scheme::kBaseline, harness::Scheme::kNetClone}) {
+    cfg.scheme = scheme;
+    harness::Experiment experiment{cfg};
+    const harness::ExperimentResult r = experiment.run();
+    std::printf(
+        "%-9s achieved %7.1f KRPS  p50 %6.1f us  p99 %7.1f us  "
+        "cloned %llu  filtered %llu  stale-clone-drops %llu\n",
+        harness::scheme_name(scheme), r.achieved_rps / 1e3, r.p50.us(),
+        r.p99.us(), static_cast<unsigned long long>(r.cloned_requests),
+        static_cast<unsigned long long>(r.filtered_responses),
+        static_cast<unsigned long long>(r.dropped_stale_clones));
+
+    if (scheme == harness::Scheme::kNetClone) {
+      std::printf("\nswitch resource audit (cf. paper section 4.1):\n%s",
+                  pisa::audit(experiment.tor().pipeline()).to_string()
+                      .c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,29 @@
+#include "baselines/agg_router.hpp"
+
+namespace netclone::baselines {
+
+AggRouterProgram::AggRouterProgram(pisa::Pipeline& pipeline,
+                                   std::size_t num_ports)
+    : routes_(pipeline, "LpmRoutes", 0, /*capacity=*/4096),
+      tx_counters_(pipeline, "TxCounters", 1, num_ports) {}
+
+void AggRouterProgram::add_prefix(wire::Ipv4Address prefix, std::uint8_t len,
+                                  std::size_t port) {
+  routes_.insert(prefix, len, port);
+}
+
+void AggRouterProgram::on_ingress(wire::Packet& pkt,
+                                  pisa::PacketMetadata& md,
+                                  pisa::PipelinePass& pass) {
+  const auto port = routes_.lookup(pass, pkt.ip.dst);
+  if (!port) {
+    ++stats_.no_route_drops;
+    md.drop = true;
+    return;
+  }
+  ++stats_.routed;
+  tx_counters_.count(pass, *port, pkt.wire_size());
+  md.egress_port = *port;
+}
+
+}  // namespace netclone::baselines

@@ -1,0 +1,45 @@
+// Aggregation-layer router for multi-rack deployments (§3.7).
+//
+// The paper's point: aggregation switches do not need to be NetClone-aware
+// at all — they run plain LPM routing and pass NetClone packets through
+// untouched. This program is exactly that: an LPM table plus per-port
+// traffic counters, with no parser branch for the NetClone header.
+#pragma once
+
+#include <cstdint>
+
+#include "pisa/lpm_table.hpp"
+#include "pisa/program.hpp"
+
+namespace netclone::baselines {
+
+struct AggRouterStats {
+  std::uint64_t routed = 0;
+  std::uint64_t no_route_drops = 0;
+};
+
+class AggRouterProgram final : public pisa::SwitchProgram {
+ public:
+  AggRouterProgram(pisa::Pipeline& pipeline, std::size_t num_ports);
+
+  /// Installs `prefix/len -> egress port`.
+  void add_prefix(wire::Ipv4Address prefix, std::uint8_t len,
+                  std::size_t port);
+
+  void on_ingress(wire::Packet& pkt, pisa::PacketMetadata& md,
+                  pisa::PipelinePass& pass) override;
+
+  [[nodiscard]] const char* name() const override { return "AggRouter"; }
+  [[nodiscard]] const AggRouterStats& stats() const { return stats_; }
+  /// Frames forwarded out of `port` so far (data-plane counter).
+  [[nodiscard]] std::uint64_t port_packets(std::size_t port) const {
+    return tx_counters_.packets(port);
+  }
+
+ private:
+  pisa::LpmTable<std::size_t> routes_;
+  pisa::CounterArray tx_counters_;
+  AggRouterStats stats_;
+};
+
+}  // namespace netclone::baselines

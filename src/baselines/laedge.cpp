@@ -1,0 +1,195 @@
+#include "baselines/laedge.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace netclone::baselines {
+
+LaedgeCoordinator::LaedgeCoordinator(sim::Simulator& simulator,
+                                     LaedgeParams params, Rng rng)
+    : phys::Node("laedge-coordinator"),
+      sim_(simulator),
+      params_(std::move(params)),
+      rng_(rng),
+      my_ip_(host::coordinator_ip()),
+      my_mac_(wire::MacAddress::from_node(0x0300U)) {
+  NETCLONE_CHECK(!params_.workers.empty(), "coordinator needs workers");
+  outstanding_.assign(params_.workers.size(), 0);
+}
+
+SimTime LaedgeCoordinator::charge_cpu() {
+  const SimTime start = std::max(sim_.now(), cpu_busy_until_);
+  cpu_busy_until_ = start + params_.per_packet_cost;
+  return cpu_busy_until_;
+}
+
+void LaedgeCoordinator::handle_frame(std::size_t /*port*/,
+                                     wire::Frame frame) {
+  wire::Packet pkt;
+  try {
+    pkt = wire::Packet::parse(frame);
+  } catch (const wire::CodecError&) {
+    return;
+  }
+  if (!pkt.has_netclone()) {
+    return;
+  }
+  // Bounded rx admission: under overload, excess *requests* are shed before
+  // costing any cycles (NIC ring overflow). Responses are always admitted —
+  // they are bounded by the outstanding-dispatch count and freeing worker
+  // slots must not livelock behind the request flood.
+  if (pkt.nc().is_request()) {
+    const auto backlog_ns =
+        static_cast<double>((cpu_busy_until_ - sim_.now()).ns());
+    if (backlog_ns > static_cast<double>(params_.per_packet_cost.ns()) *
+                         static_cast<double>(params_.rx_ring_capacity)) {
+      ++stats_.rx_ring_drops;
+      return;
+    }
+  }
+  // Receive path: the packet waits for the coordinator CPU.
+  sim_.schedule_at(charge_cpu(), [this, pkt = std::move(pkt)]() mutable {
+    on_cpu(std::move(pkt));
+  });
+}
+
+void LaedgeCoordinator::on_cpu(wire::Packet pkt) {
+  if (pkt.nc().is_request()) {
+    admit_request(std::move(pkt));
+  } else {
+    on_response(std::move(pkt));
+  }
+}
+
+std::vector<std::size_t> LaedgeCoordinator::idle_workers() const {
+  std::vector<std::size_t> idle;
+  for (std::size_t w = 0; w < params_.workers.size(); ++w) {
+    if (outstanding_[w] < params_.workers[w].capacity) {
+      idle.push_back(w);
+    }
+  }
+  return idle;
+}
+
+void LaedgeCoordinator::admit_request(wire::Packet&& pkt) {
+  ++stats_.requests;
+  const wire::NetCloneHeader& nc = pkt.nc();
+  const std::uint64_t key = request_key(nc.client_id, nc.client_seq);
+  requests_[key] =
+      RequestState{pkt.ip.src, pkt.udp.src_port, /*copies=*/0, false};
+
+  const std::vector<std::size_t> idle = idle_workers();
+  if (idle.empty()) {
+    // All workers busy: buffer until a response frees capacity.
+    ++stats_.queued;
+    pending_.push_back(std::move(pkt));
+    stats_.max_queue_depth =
+        std::max(stats_.max_queue_depth, pending_.size());
+    return;
+  }
+  if (idle.size() == 1) {
+    ++stats_.forwarded_single;
+    dispatch(pkt, idle[0]);
+    return;
+  }
+  // Clone to two random idle workers (LÆDGE: replicate iff >= 2 idle).
+  ++stats_.cloned;
+  const auto a = static_cast<std::size_t>(rng_.next_below(idle.size()));
+  auto b = static_cast<std::size_t>(rng_.next_below(idle.size() - 1));
+  if (b >= a) {
+    ++b;
+  }
+  dispatch(pkt, idle[a]);
+  dispatch(pkt, idle[b]);
+}
+
+void LaedgeCoordinator::dispatch(const wire::Packet& pkt, std::size_t w) {
+  const LaedgeWorkerInfo& worker = params_.workers[w];
+  ++outstanding_[w];
+
+  wire::Packet out = pkt;
+  out.eth.src = my_mac_;
+  out.ip.src = my_ip_;  // responses must come back through the coordinator
+  out.ip.dst = worker.ip;
+  out.udp.src_port = wire::kNetClonePort;
+
+  const std::uint64_t key =
+      request_key(out.nc().client_id, out.nc().client_seq);
+  ++requests_[key].copies_outstanding;
+
+  // Transmit path: each copy occupies the CPU again before hitting the NIC.
+  sim_.schedule_at(charge_cpu(), [this, bytes = out.serialize()]() mutable {
+    send(0, std::move(bytes));
+  });
+}
+
+void LaedgeCoordinator::on_response(wire::Packet&& pkt) {
+  const wire::NetCloneHeader& nc = pkt.nc();
+  // Locate the worker that answered and release its slot.
+  for (std::size_t w = 0; w < params_.workers.size(); ++w) {
+    if (value_of(params_.workers[w].sid) == nc.sid) {
+      if (outstanding_[w] > 0) {
+        --outstanding_[w];
+      }
+      break;
+    }
+  }
+
+  const std::uint64_t key = request_key(nc.client_id, nc.client_seq);
+  auto it = requests_.find(key);
+  if (it != requests_.end()) {
+    RequestState& state = it->second;
+    if (state.copies_outstanding > 0) {
+      --state.copies_outstanding;
+    }
+    if (!state.relayed) {
+      state.relayed = true;
+      ++stats_.relayed_responses;
+      wire::Packet out = std::move(pkt);
+      out.eth.src = my_mac_;
+      out.ip.src = my_ip_;
+      out.ip.dst = state.client_ip;
+      out.udp.dst_port = state.client_port;
+      out.udp.src_port = wire::kNetClonePort;
+      sim_.schedule_at(charge_cpu(),
+                       [this, bytes = out.serialize()]() mutable {
+                         send(0, std::move(bytes));
+                       });
+    } else {
+      ++stats_.absorbed_duplicates;  // slower clone: CPU paid, then dropped
+    }
+    if (state.copies_outstanding == 0) {
+      requests_.erase(it);
+    }
+  }
+
+  drain_queue();
+}
+
+void LaedgeCoordinator::drain_queue() {
+  while (!pending_.empty()) {
+    const std::vector<std::size_t> idle = idle_workers();
+    if (idle.empty()) {
+      return;
+    }
+    wire::Packet pkt = std::move(pending_.front());
+    pending_.pop_front();
+    if (idle.size() >= 2) {
+      ++stats_.cloned;
+      const auto a = static_cast<std::size_t>(rng_.next_below(idle.size()));
+      auto b = static_cast<std::size_t>(rng_.next_below(idle.size() - 1));
+      if (b >= a) {
+        ++b;
+      }
+      dispatch(pkt, idle[a]);
+      dispatch(pkt, idle[b]);
+    } else {
+      ++stats_.forwarded_single;
+      dispatch(pkt, idle[0]);
+    }
+  }
+}
+
+}  // namespace netclone::baselines

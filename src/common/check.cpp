@@ -1,0 +1,18 @@
+#include "common/check.hpp"
+
+#include <sstream>
+
+namespace netclone {
+
+void check_failed(const char* expr, const std::string& msg,
+                  std::source_location loc) {
+  std::ostringstream os;
+  os << "check failed: (" << expr << ") at " << loc.file_name() << ':'
+     << loc.line() << " in " << loc.function_name();
+  if (!msg.empty()) {
+    os << " — " << msg;
+  }
+  throw CheckFailure{os.str()};
+}
+
+}  // namespace netclone

@@ -1,0 +1,33 @@
+// Always-on invariant checks.
+//
+// The PISA switch model relies on these to enforce hardware constraints
+// (e.g. "a register array may be accessed once per pipeline pass"); they
+// must fire in release builds too, so they are not assert()s.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace netclone {
+
+/// Thrown when an internal invariant is violated. In the switch model this
+/// represents a program that would not compile / behave on real hardware.
+class CheckFailure : public std::logic_error {
+ public:
+  explicit CheckFailure(const std::string& what) : std::logic_error(what) {}
+};
+
+[[noreturn]] void check_failed(
+    const char* expr, const std::string& msg,
+    std::source_location loc = std::source_location::current());
+
+}  // namespace netclone
+
+/// Aborts the operation (by throwing CheckFailure) when `expr` is false.
+#define NETCLONE_CHECK(expr, msg)                   \
+  do {                                              \
+    if (!(expr)) {                                  \
+      ::netclone::check_failed(#expr, (msg));       \
+    }                                               \
+  } while (false)

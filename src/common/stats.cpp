@@ -1,0 +1,58 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+namespace netclone {
+
+void StreamingStats::add(double x) {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double StreamingStats::variance() const {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double StreamingStats::stddev() const { return std::sqrt(variance()); }
+
+double exact_percentile(std::span<const double> samples, double q) {
+  if (samples.empty()) {
+    return 0.0;
+  }
+  std::vector<double> sorted{samples.begin(), samples.end()};
+  std::sort(sorted.begin(), sorted.end());
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  return sorted[rank == 0 ? 0 : rank - 1];
+}
+
+std::string to_string(SimTime t) {
+  char buf[64];
+  const std::int64_t ns = t.ns();
+  const std::int64_t mag = ns < 0 ? -ns : ns;
+  if (mag < 1000) {
+    std::snprintf(buf, sizeof(buf), "%lld ns", static_cast<long long>(ns));
+  } else if (mag < 1000000) {
+    std::snprintf(buf, sizeof(buf), "%.3f us", t.us());
+  } else if (mag < 1000000000) {
+    std::snprintf(buf, sizeof(buf), "%.3f ms", t.ms());
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3f s", t.sec());
+  }
+  return buf;
+}
+
+}  // namespace netclone

@@ -1,0 +1,37 @@
+// Small statistics helpers used by the experiment harness.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/types.hpp"
+
+namespace netclone {
+
+/// Single-pass mean/variance accumulator (Welford's algorithm), used where
+/// we need moments but not quantiles (e.g. Fig. 13 (b): mean ± stdev of the
+/// tail over 10 runs).
+class StreamingStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return mean_; }
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ == 0 ? 0.0 : min_; }
+  [[nodiscard]] double max() const { return n_ == 0 ? 0.0 : max_; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exact quantile of a sample set (sorts a copy; fine for harness-sized data).
+[[nodiscard]] double exact_percentile(std::span<const double> samples,
+                                      double q);
+
+}  // namespace netclone

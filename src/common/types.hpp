@@ -1,0 +1,116 @@
+// Strong types shared across the NetClone reproduction.
+//
+// SimTime is the simulation clock: a signed 64-bit count of nanoseconds.
+// It is a distinct type (not a raw integer) so that times, durations, and
+// identifiers cannot be mixed up at call sites.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace netclone {
+
+/// A point on (or interval of) the simulated clock, in nanoseconds.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  constexpr explicit SimTime(std::int64_t ns) : ns_(ns) {}
+
+  [[nodiscard]] constexpr std::int64_t ns() const { return ns_; }
+  [[nodiscard]] constexpr double us() const {
+    return static_cast<double>(ns_) / 1e3;
+  }
+  [[nodiscard]] constexpr double ms() const {
+    return static_cast<double>(ns_) / 1e6;
+  }
+  [[nodiscard]] constexpr double sec() const {
+    return static_cast<double>(ns_) / 1e9;
+  }
+
+  [[nodiscard]] static constexpr SimTime zero() { return SimTime{0}; }
+  [[nodiscard]] static constexpr SimTime max() {
+    return SimTime{std::numeric_limits<std::int64_t>::max()};
+  }
+  [[nodiscard]] static constexpr SimTime nanoseconds(std::int64_t v) {
+    return SimTime{v};
+  }
+  [[nodiscard]] static constexpr SimTime microseconds(double v) {
+    return SimTime{static_cast<std::int64_t>(v * 1e3)};
+  }
+  [[nodiscard]] static constexpr SimTime milliseconds(double v) {
+    return SimTime{static_cast<std::int64_t>(v * 1e6)};
+  }
+  [[nodiscard]] static constexpr SimTime seconds(double v) {
+    return SimTime{static_cast<std::int64_t>(v * 1e9)};
+  }
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  constexpr SimTime& operator+=(SimTime rhs) {
+    ns_ += rhs.ns_;
+    return *this;
+  }
+  constexpr SimTime& operator-=(SimTime rhs) {
+    ns_ -= rhs.ns_;
+    return *this;
+  }
+
+  friend constexpr SimTime operator+(SimTime a, SimTime b) {
+    return SimTime{a.ns_ + b.ns_};
+  }
+  friend constexpr SimTime operator-(SimTime a, SimTime b) {
+    return SimTime{a.ns_ - b.ns_};
+  }
+  friend constexpr SimTime operator*(SimTime a, std::int64_t k) {
+    return SimTime{a.ns_ * k};
+  }
+  friend constexpr SimTime operator*(std::int64_t k, SimTime a) {
+    return SimTime{a.ns_ * k};
+  }
+  friend constexpr double operator/(SimTime a, SimTime b) {
+    return static_cast<double>(a.ns_) / static_cast<double>(b.ns_);
+  }
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+namespace literals {
+constexpr SimTime operator""_ns(unsigned long long v) {
+  return SimTime{static_cast<std::int64_t>(v)};
+}
+constexpr SimTime operator""_us(unsigned long long v) {
+  return SimTime{static_cast<std::int64_t>(v) * 1000};
+}
+constexpr SimTime operator""_ms(unsigned long long v) {
+  return SimTime{static_cast<std::int64_t>(v) * 1000000};
+}
+constexpr SimTime operator""_s(unsigned long long v) {
+  return SimTime{static_cast<std::int64_t>(v) * 1000000000};
+}
+}  // namespace literals
+
+/// Identifier of a node (host or switch) in the simulated topology.
+enum class NodeId : std::uint32_t {};
+/// Identifier of a worker server within the NetClone deployment
+/// (the SID field of the NetClone header).
+enum class ServerId : std::uint8_t {};
+/// Identifier of a candidate-server group (the GRP field).
+enum class GroupId : std::uint16_t {};
+
+[[nodiscard]] constexpr std::uint32_t value_of(NodeId id) {
+  return static_cast<std::uint32_t>(id);
+}
+[[nodiscard]] constexpr std::uint8_t value_of(ServerId id) {
+  return static_cast<std::uint8_t>(id);
+}
+[[nodiscard]] constexpr std::uint16_t value_of(GroupId id) {
+  return static_cast<std::uint16_t>(id);
+}
+
+/// Formats a SimTime for human-readable output ("12.345 us", "1.200 ms").
+[[nodiscard]] std::string to_string(SimTime t);
+
+}  // namespace netclone

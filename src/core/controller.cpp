@@ -1,0 +1,61 @@
+#include "core/controller.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace netclone::core {
+
+Controller::Controller(NetCloneProgram& program, pisa::SwitchDevice& device,
+                       std::size_t loopback_port)
+    : program_(program), device_(device), loopback_port_(loopback_port) {}
+
+std::uint16_t Controller::add_server(ServerId sid, wire::Ipv4Address ip,
+                                     std::size_t egress_port) {
+  NETCLONE_CHECK(!is_live(sid), "server already registered");
+  const std::uint16_t mcast = next_mcast_group_++;
+  device_.configure_multicast_group(mcast, {egress_port, loopback_port_});
+  program_.add_server(sid, ip, egress_port, mcast);
+  workers_.push_back(WorkerEntry{sid, ip, egress_port, mcast});
+  if (workers_.size() >= 2) {
+    reinstall_groups();
+  }
+  return mcast;
+}
+
+void Controller::remove_server(ServerId sid) {
+  auto it = std::find_if(
+      workers_.begin(), workers_.end(),
+      [sid](const WorkerEntry& w) { return w.sid == sid; });
+  NETCLONE_CHECK(it != workers_.end(), "unknown server");
+  NETCLONE_CHECK(workers_.size() > 2,
+                 "cannot drop below two servers (redundancy)");
+  program_.remove_server(sid);
+  workers_.erase(it);
+  reinstall_groups();
+}
+
+void Controller::add_route(wire::Ipv4Address ip, std::size_t port) {
+  program_.add_route(ip, port);
+}
+
+std::vector<ServerId> Controller::live_servers() const {
+  std::vector<ServerId> out;
+  out.reserve(workers_.size());
+  for (const WorkerEntry& w : workers_) {
+    out.push_back(w.sid);
+  }
+  return out;
+}
+
+bool Controller::is_live(ServerId sid) const {
+  return std::any_of(workers_.begin(), workers_.end(),
+                     [sid](const WorkerEntry& w) { return w.sid == sid; });
+}
+
+void Controller::reinstall_groups() {
+  groups_ = build_group_pairs(live_servers());
+  program_.install_groups(groups_);
+}
+
+}  // namespace netclone::core

@@ -1,0 +1,66 @@
+// Switch control plane for NetClone (§3.6 "Server failures").
+//
+// The data-plane program only evaluates whatever tables the control plane
+// installed; this class owns that responsibility: it wires worker servers
+// (address entry, route, PRE multicast group with the loopback port),
+// keeps the candidate-group set consistent with the live server set, and
+// removes failed servers — after which clients must be told the new group
+// count (Client::set_num_groups).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/netclone_program.hpp"
+#include "pisa/switch_device.hpp"
+
+namespace netclone::core {
+
+class Controller {
+ public:
+  /// The device must already have a loopback port configured; pass its
+  /// index so clone multicast groups can reference it.
+  Controller(NetCloneProgram& program, pisa::SwitchDevice& device,
+             std::size_t loopback_port);
+
+  /// Registers a live worker and reinstalls the group set. Returns the
+  /// multicast group id assigned to the server's clone path.
+  std::uint16_t add_server(ServerId sid, wire::Ipv4Address ip,
+                           std::size_t egress_port);
+
+  /// Removes a failed worker (§3.6): deletes its address entry and
+  /// reinstalls groups over the survivors. Throws if fewer than two
+  /// servers would remain (NetClone requires redundancy).
+  void remove_server(ServerId sid);
+
+  /// Plain route for non-worker endpoints.
+  void add_route(wire::Ipv4Address ip, std::size_t port);
+
+  [[nodiscard]] const std::vector<GroupPair>& groups() const {
+    return groups_;
+  }
+  [[nodiscard]] std::uint16_t group_count() const {
+    return static_cast<std::uint16_t>(groups_.size());
+  }
+  [[nodiscard]] std::vector<ServerId> live_servers() const;
+  [[nodiscard]] bool is_live(ServerId sid) const;
+
+ private:
+  struct WorkerEntry {
+    ServerId sid{};
+    wire::Ipv4Address ip{};
+    std::size_t port = 0;
+    std::uint16_t mcast_group = 0;
+  };
+
+  void reinstall_groups();
+
+  NetCloneProgram& program_;
+  pisa::SwitchDevice& device_;
+  std::size_t loopback_port_;
+  std::vector<WorkerEntry> workers_;
+  std::vector<GroupPair> groups_;
+  std::uint16_t next_mcast_group_ = 1;
+};
+
+}  // namespace netclone::core

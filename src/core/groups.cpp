@@ -1,0 +1,42 @@
+#include "core/groups.hpp"
+
+#include "common/check.hpp"
+
+namespace netclone::core {
+
+std::vector<GroupPair> build_group_pairs(
+    const std::vector<ServerId>& servers) {
+  NETCLONE_CHECK(servers.size() >= 2,
+                 "NetClone requires at least two servers for redundancy");
+  std::vector<GroupPair> groups;
+  groups.reserve(group_count(servers.size()));
+  for (const ServerId a : servers) {
+    for (const ServerId b : servers) {
+      if (a == b) {
+        continue;
+      }
+      groups.push_back(GroupPair{value_of(a), value_of(b)});
+    }
+  }
+  return groups;
+}
+
+std::vector<GroupPair> build_group_pairs(std::size_t num_servers) {
+  NETCLONE_CHECK(num_servers >= 2,
+                 "NetClone requires at least two servers for redundancy");
+  NETCLONE_CHECK(num_servers <= 256, "server id space is 8 bits");
+  std::vector<GroupPair> groups;
+  groups.reserve(group_count(num_servers));
+  for (std::size_t i = 0; i < num_servers; ++i) {
+    for (std::size_t j = 0; j < num_servers; ++j) {
+      if (i == j) {
+        continue;
+      }
+      groups.push_back(GroupPair{static_cast<std::uint8_t>(i),
+                                 static_cast<std::uint8_t>(j)});
+    }
+  }
+  return groups;
+}
+
+}  // namespace netclone::core

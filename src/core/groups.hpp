@@ -1,0 +1,40 @@
+// Candidate-server groups (§3.3).
+//
+// A group id names an *ordered* pair of candidate servers. The operator
+// installs 2·C(n,2) groups — every unordered pair in both orders — because
+// the switch forwards a non-cloned request to the FIRST candidate; with only
+// one order installed, all non-cloned traffic would pile onto the
+// lexicographically smaller server of each pair.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace netclone::core {
+
+struct GroupPair {
+  std::uint8_t srv1 = 0;
+  std::uint8_t srv2 = 0;
+
+  friend bool operator==(const GroupPair&, const GroupPair&) = default;
+};
+
+/// Builds the full group set for `num_servers` workers: all ordered pairs
+/// (i, j), i != j — exactly 2·C(n,2) entries. Group ids are the vector
+/// indices. Requires num_servers >= 2 (NetClone needs redundancy).
+[[nodiscard]] std::vector<GroupPair> build_group_pairs(
+    std::size_t num_servers);
+
+/// Same, over an explicit set of (possibly non-contiguous) server ids —
+/// what the control plane installs after removing a failed server (§3.6).
+[[nodiscard]] std::vector<GroupPair> build_group_pairs(
+    const std::vector<ServerId>& servers);
+
+/// Number of groups for n servers: 2·C(n,2) = n·(n-1).
+[[nodiscard]] constexpr std::size_t group_count(std::size_t num_servers) {
+  return num_servers * (num_servers - 1);
+}
+
+}  // namespace netclone::core

@@ -1,0 +1,94 @@
+#include "harness/analysis.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace netclone::harness {
+
+double MmcModel::utilization() const {
+  NETCLONE_CHECK(servers > 0, "M/M/c needs at least one server");
+  return arrival_rate * mean_service_s / static_cast<double>(servers);
+}
+
+double MmcModel::probability_of_wait() const {
+  const double a = arrival_rate * mean_service_s;  // offered Erlangs
+  const double c = static_cast<double>(servers);
+  const double rho = a / c;
+  if (rho >= 1.0) {
+    return 1.0;
+  }
+  // Erlang-C via the numerically stable iterative Erlang-B recursion:
+  //   B(0) = 1; B(k) = a*B(k-1) / (k + a*B(k-1));  C = B / (1 - rho(1-B)).
+  double b = 1.0;
+  for (std::uint32_t k = 1; k <= servers; ++k) {
+    b = a * b / (static_cast<double>(k) + a * b);
+  }
+  return b / (1.0 - rho * (1.0 - b));
+}
+
+double MmcModel::mean_wait_s() const {
+  const double rho = utilization();
+  if (rho >= 1.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const double c = static_cast<double>(servers);
+  return probability_of_wait() * mean_service_s /
+         (c * (1.0 - rho));
+}
+
+double MmcModel::mean_sojourn_s() const {
+  return mean_wait_s() + mean_service_s;
+}
+
+double MmcModel::probability_queue_empty() const {
+  // In an M/M/c queue the waiting line is empty iff N <= c. Compute
+  // P(N <= c) from the stationary distribution.
+  const double a = arrival_rate * mean_service_s;
+  const double c = static_cast<double>(servers);
+  const double rho = a / c;
+  if (rho >= 1.0) {
+    return 0.0;
+  }
+  // p0 normalization.
+  double sum = 0.0;
+  double term = 1.0;  // a^0 / 0!
+  for (std::uint32_t k = 0; k < servers; ++k) {
+    sum += term;
+    term *= a / static_cast<double>(k + 1);
+  }
+  // term now a^c / c!
+  const double tail = term / (1.0 - rho);  // sum over N >= c
+  const double p0 = 1.0 / (sum + tail);
+  // P(N <= c) = p0 * (sum_{k<c} a^k/k! + a^c/c!).
+  return p0 * (sum + term);
+}
+
+double exponential_quantile(double mean, double q) {
+  NETCLONE_CHECK(q >= 0.0 && q < 1.0, "quantile must be in [0,1)");
+  return -mean * std::log(1.0 - q);
+}
+
+double jitter_mixture_quantile(double mean, double p, double multiplier,
+                               double q) {
+  NETCLONE_CHECK(q >= 0.0 && q < 1.0, "quantile must be in [0,1)");
+  // Solve P(X > t) = (1-p) e^{-t/mean} + p e^{-t/(mean*mult)} = 1-q by
+  // bisection; the survival function is strictly decreasing.
+  const double target = 1.0 - q;
+  double lo = 0.0;
+  double hi = mean * multiplier * 50.0;
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    const double survival = (1.0 - p) * std::exp(-mid / mean) +
+                            p * std::exp(-mid / (mean * multiplier));
+    if (survival > target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace netclone::harness

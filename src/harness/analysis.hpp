@@ -1,0 +1,44 @@
+// Queueing-theory reference models (M/M/c), used two ways:
+//   * validation — the simulated server is, at its core, an M/M/c queue
+//     when fed Poisson arrivals and exponential service with no jitter;
+//     tests assert the simulator reproduces Erlang-C waiting times;
+//   * capacity planning in the harness (expected wait at a target load).
+#pragma once
+
+#include <cstdint>
+
+namespace netclone::harness {
+
+/// Offered load a = lambda * E[S] in Erlangs.
+struct MmcModel {
+  std::uint32_t servers = 1;   // c
+  double arrival_rate = 0.0;   // lambda, per second
+  double mean_service_s = 0.0; // E[S], seconds
+
+  [[nodiscard]] double utilization() const;  // rho = a / c
+
+  /// Erlang-C: probability an arriving request waits.
+  [[nodiscard]] double probability_of_wait() const;
+
+  /// Mean waiting time in queue, Wq (seconds). Infinite when rho >= 1.
+  [[nodiscard]] double mean_wait_s() const;
+
+  /// Mean sojourn time W = Wq + E[S] (seconds).
+  [[nodiscard]] double mean_sojourn_s() const;
+
+  /// Probability that the queue is empty AND at least one server is free —
+  /// NetClone's "idle" signal is queue emptiness; for an M/M/c queue the
+  /// queue is empty iff fewer than c jobs are in the system... plus the
+  /// boundary state. This returns P(N < c) + P(N = c) = P(queue empty).
+  [[nodiscard]] double probability_queue_empty() const;
+};
+
+/// The q-th quantile of an exponential distribution with the given mean.
+[[nodiscard]] double exponential_quantile(double mean, double q);
+
+/// The q-th quantile of the two-component mixture the paper's jitter model
+/// induces: with probability p the value is scaled by `multiplier`.
+[[nodiscard]] double jitter_mixture_quantile(double mean, double p,
+                                             double multiplier, double q);
+
+}  // namespace netclone::harness

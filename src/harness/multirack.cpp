@@ -1,0 +1,149 @@
+#include "harness/multirack.hpp"
+
+#include "common/check.hpp"
+#include "core/groups.hpp"
+
+namespace netclone::harness {
+
+MultiRackExperiment::MultiRackExperiment(MultiRackConfig config)
+    : config_(std::move(config)), root_rng_(config_.seed) {
+  NETCLONE_CHECK(config_.factory != nullptr, "config needs a factory");
+  NETCLONE_CHECK(config_.service != nullptr, "config needs a service");
+  NETCLONE_CHECK(config_.server_racks >= 1, "need at least one server rack");
+  NETCLONE_CHECK(config_.server_racks * config_.servers_per_rack >= 2,
+                 "NetClone needs at least two servers");
+  build();
+}
+
+MultiRackExperiment::~MultiRackExperiment() = default;
+
+void MultiRackExperiment::build() {
+  sim_ = std::make_unique<sim::Simulator>();
+  topology_ = std::make_unique<phys::Topology>(*sim_);
+
+  // Aggregation layer: plain LPM, not NetClone-aware.
+  agg_ = &topology_->add_node<pisa::SwitchDevice>(*sim_, "agg");
+  agg_program_ = std::make_shared<baselines::AggRouterProgram>(
+      agg_->pipeline(), /*num_ports=*/1 + config_.server_racks + 4);
+  agg_->load_program(agg_program_);
+
+  // Client-side ToR: the one that runs the NetClone logic.
+  client_tor_ = &topology_->add_node<pisa::SwitchDevice>(*sim_, "tor-1");
+  const std::size_t recirc = client_tor_->add_internal_port();
+  client_tor_->set_loopback_port(recirc);
+  core::NetCloneConfig client_cfg = config_.netclone;
+  client_cfg.switch_id = 1;
+  client_tor_program_ = std::make_shared<core::NetCloneProgram>(
+      client_tor_->pipeline(), client_cfg);
+  client_tor_->load_program(client_tor_program_);
+  const auto client_trunk = topology_->connect(*client_tor_, *agg_);
+  // Client subnet lives behind ToR#1.
+  agg_program_->add_prefix(wire::Ipv4Address::from_octets(10, 0, 0, 0), 24,
+                           client_trunk.port_on_b);
+
+  // Server racks.
+  std::uint8_t sid = 0;
+  for (std::size_t rack = 0; rack < config_.server_racks; ++rack) {
+    auto& tor = topology_->add_node<pisa::SwitchDevice>(
+        *sim_, "tor-" + std::to_string(rack + 2));
+    const std::size_t tor_recirc = tor.add_internal_port();
+    tor.set_loopback_port(tor_recirc);
+    core::NetCloneConfig rack_cfg = config_.netclone;
+    rack_cfg.switch_id = static_cast<std::uint8_t>(rack + 2);
+    auto program = std::make_shared<core::NetCloneProgram>(tor.pipeline(),
+                                                           rack_cfg);
+    tor.load_program(program);
+    const auto trunk = topology_->connect(tor, *agg_);
+    server_tors_.push_back(&tor);
+    server_tor_programs_.push_back(program);
+    trunk_ports_.push_back(trunk.port_on_a);
+
+    for (std::size_t i = 0; i < config_.servers_per_rack; ++i, ++sid) {
+      host::ServerParams sp = config_.server_template;
+      sp.sid = ServerId{sid};
+      sp.workers = config_.workers;
+      auto& server = topology_->add_node<host::Server>(
+          *sim_, sp, config_.service, root_rng_.fork());
+      const auto ports = topology_->connect(server, tor);
+      servers_.push_back(&server);
+      const wire::Ipv4Address ip = host::server_ip(ServerId{sid});
+
+      // Client ToR: clone toward the trunk; AddrT knows the global sid.
+      const auto mcast = static_cast<std::uint16_t>(sid + 1);
+      client_tor_->configure_multicast_group(
+          mcast, {client_trunk.port_on_a, recirc});
+      client_tor_program_->add_server(ServerId{sid}, ip,
+                                      client_trunk.port_on_a, mcast);
+      // Rack ToR routes the server's address locally; agg routes the
+      // host address toward this rack.
+      program->add_route(ip, ports.port_on_b);
+      agg_program_->add_prefix(ip, 32, trunk.port_on_b);
+    }
+  }
+
+  const std::size_t num_servers = config_.server_racks *
+                                  config_.servers_per_rack;
+  const auto groups = core::build_group_pairs(num_servers);
+  client_tor_program_->install_groups(groups);
+
+  const SimTime stop_at = config_.warmup + config_.measure;
+  for (std::size_t c = 0; c < config_.num_clients; ++c) {
+    host::ClientParams cp = config_.client_template;
+    cp.client_id = static_cast<std::uint16_t>(c);
+    cp.mode = host::SendMode::kViaSwitch;
+    cp.target = host::service_vip();
+    cp.rate_rps =
+        config_.offered_rps / static_cast<double>(config_.num_clients);
+    cp.num_groups = static_cast<std::uint16_t>(groups.size());
+    cp.num_filter_tables =
+        static_cast<std::uint8_t>(config_.netclone.num_filter_tables);
+    cp.warmup_until = config_.warmup;
+    cp.stop_at = stop_at;
+    auto& client = topology_->add_node<host::Client>(
+        *sim_, cp, config_.factory, root_rng_.fork());
+    const auto ports = topology_->connect(client, *client_tor_);
+    const wire::Ipv4Address ip = host::client_ip(cp.client_id);
+    client_tor_program_->add_route(ip, ports.port_on_b);
+    // Rack ToRs route responses toward the client through their trunk
+    // (their FwdT is exact-match, so one host route per client).
+    for (std::size_t rack = 0; rack < server_tor_programs_.size(); ++rack) {
+      server_tor_programs_[rack]->add_route(ip, trunk_ports_[rack]);
+    }
+    clients_.push_back(&client);
+  }
+}
+
+ExperimentResult MultiRackExperiment::run() {
+  for (host::Client* client : clients_) {
+    client->start();
+  }
+  sim_->run_until(config_.warmup + config_.measure + config_.drain);
+
+  ExperimentResult result;
+  result.scheme = Scheme::kNetClone;
+  result.offered_rps = config_.offered_rps;
+  LatencyHistogram merged;
+  for (const host::Client* client : clients_) {
+    const host::ClientStats& cs = client->stats();
+    merged.merge(cs.latency);
+    result.requests_sent += cs.requests_sent;
+    result.completed += cs.completed_in_window;
+    result.redundant_responses += cs.redundant_responses;
+  }
+  result.achieved_rps =
+      static_cast<double>(result.completed) / config_.measure.sec();
+  result.mean_us = merged.mean_ns() / 1e3;
+  result.p50 = merged.p50();
+  result.p99 = merged.p99();
+  result.p999 = merged.p999();
+  for (const host::Server* server : servers_) {
+    result.dropped_stale_clones += server->stats().dropped_stale_clones;
+  }
+  result.cloned_requests = client_tor_program_->stats().cloned_requests;
+  result.filtered_responses =
+      client_tor_program_->stats().filtered_responses;
+  result.switch_stats = client_tor_->stats();
+  return result;
+}
+
+}  // namespace netclone::harness

@@ -1,0 +1,88 @@
+// Multi-rack deployment harness (§3.7 "Multi-rack deployment").
+//
+// Topology: one client rack and N server racks, each behind its own
+// NetClone ToR, joined by a NetClone-oblivious LPM aggregation router:
+//
+//   clients — ToR#1 —— agg —— ToR#2 — servers rack 0
+//                        |
+//                        +——— ToR#3 — servers rack 1 ...
+//
+// Only the client-side ToR (#1) performs cloning/filtering; it stamps
+// SWITCH_ID so the server-side ToRs recognize the packets as foreign and
+// merely route them. Candidate pairs may span racks — the clone's
+// recirculated copy simply leaves through the same trunk.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "baselines/agg_router.hpp"
+#include "core/netclone_program.hpp"
+#include "harness/experiment.hpp"
+
+namespace netclone::harness {
+
+struct MultiRackConfig {
+  std::size_t server_racks = 2;
+  std::size_t servers_per_rack = 3;
+  std::uint32_t workers = 16;
+  std::size_t num_clients = 2;
+  double offered_rps = 1e6;
+  SimTime warmup = SimTime::milliseconds(5);
+  SimTime measure = SimTime::milliseconds(25);
+  SimTime drain = SimTime::milliseconds(15);
+  std::uint64_t seed = 1;
+  std::shared_ptr<host::RequestFactory> factory;
+  std::shared_ptr<host::ServiceModel> service;
+  core::NetCloneConfig netclone{};
+  host::ClientParams client_template{};
+  host::ServerParams server_template{};
+};
+
+class MultiRackExperiment {
+ public:
+  explicit MultiRackExperiment(MultiRackConfig config);
+  ~MultiRackExperiment();
+
+  MultiRackExperiment(const MultiRackExperiment&) = delete;
+  MultiRackExperiment& operator=(const MultiRackExperiment&) = delete;
+
+  [[nodiscard]] ExperimentResult run();
+
+  [[nodiscard]] const core::NetCloneProgram& client_tor_program() const {
+    return *client_tor_program_;
+  }
+  [[nodiscard]] const core::NetCloneProgram& server_tor_program(
+      std::size_t rack) const {
+    return *server_tor_programs_.at(rack);
+  }
+  [[nodiscard]] const baselines::AggRouterProgram& agg_program() const {
+    return *agg_program_;
+  }
+  [[nodiscard]] const std::vector<host::Server*>& servers() const {
+    return servers_;
+  }
+  [[nodiscard]] const std::vector<host::Client*>& clients() const {
+    return clients_;
+  }
+  [[nodiscard]] sim::Simulator& simulator() { return *sim_; }
+
+ private:
+  void build();
+
+  MultiRackConfig config_;
+  Rng root_rng_;
+  std::unique_ptr<sim::Simulator> sim_;
+  std::unique_ptr<phys::Topology> topology_;
+  pisa::SwitchDevice* client_tor_ = nullptr;
+  pisa::SwitchDevice* agg_ = nullptr;
+  std::vector<pisa::SwitchDevice*> server_tors_;
+  std::vector<std::size_t> trunk_ports_;  // rack ToR port toward the agg
+  std::shared_ptr<core::NetCloneProgram> client_tor_program_;
+  std::vector<std::shared_ptr<core::NetCloneProgram>> server_tor_programs_;
+  std::shared_ptr<baselines::AggRouterProgram> agg_program_;
+  std::vector<host::Server*> servers_;
+  std::vector<host::Client*> clients_;
+};
+
+}  // namespace netclone::harness

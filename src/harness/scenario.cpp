@@ -1,0 +1,279 @@
+#include "harness/scenario.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "host/service.hpp"
+#include "host/workload.hpp"
+#include "kv/kv_workload.hpp"
+
+namespace netclone::harness {
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) {
+    return "";
+  }
+  const auto end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return s;
+}
+
+double parse_double(const std::string& value, const std::string& key) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(value, &pos);
+    if (pos != value.size()) {
+      throw std::invalid_argument{""};
+    }
+    return v;
+  } catch (const std::exception&) {
+    throw ScenarioError{"bad numeric value for '" + key + "': " + value};
+  }
+}
+
+std::uint64_t parse_u64(const std::string& value, const std::string& key) {
+  const double v = parse_double(value, key);
+  if (v < 0.0 || v != std::floor(v)) {
+    throw ScenarioError{"'" + key + "' must be a non-negative integer"};
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+std::vector<double> parse_load_list(const std::string& value) {
+  std::vector<double> loads;
+  std::stringstream ss{value};
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    const double load = parse_double(trim(item), "loads");
+    if (load <= 0.0 || load > 1.5) {
+      throw ScenarioError{"load fractions must be in (0, 1.5]"};
+    }
+    loads.push_back(load);
+  }
+  if (loads.empty()) {
+    throw ScenarioError{"'loads' must list at least one fraction"};
+  }
+  return loads;
+}
+
+}  // namespace
+
+Scheme parse_scheme(const std::string& name) {
+  const std::string n = lower(name);
+  if (n == "baseline") {
+    return Scheme::kBaseline;
+  }
+  if (n == "cclone" || n == "c-clone") {
+    return Scheme::kCClone;
+  }
+  if (n == "laedge") {
+    return Scheme::kLaedge;
+  }
+  if (n == "netclone") {
+    return Scheme::kNetClone;
+  }
+  if (n == "netclone-nofilter") {
+    return Scheme::kNetCloneNoFilter;
+  }
+  if (n == "racksched") {
+    return Scheme::kRackSched;
+  }
+  if (n == "netclone-racksched") {
+    return Scheme::kNetCloneRackSched;
+  }
+  throw ScenarioError{"unknown scheme: " + name};
+}
+
+Scenario parse_scenario(const std::string& text) {
+  Scenario scenario;
+  std::stringstream stream{text};
+  std::string line;
+  int line_no = 0;
+  while (std::getline(stream, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) {
+      line = line.substr(0, hash);
+    }
+    line = trim(line);
+    if (line.empty()) {
+      continue;
+    }
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      throw ScenarioError{"line " + std::to_string(line_no) +
+                          ": expected 'key = value'"};
+    }
+    const std::string key = lower(trim(line.substr(0, eq)));
+    const std::string value = trim(line.substr(eq + 1));
+    if (value.empty()) {
+      throw ScenarioError{"line " + std::to_string(line_no) +
+                          ": empty value for '" + key + "'"};
+    }
+
+    if (key == "scheme") {
+      scenario.scheme = parse_scheme(value);
+    } else if (key == "servers") {
+      scenario.servers = parse_u64(value, key);
+    } else if (key == "workers") {
+      scenario.workers = static_cast<std::uint32_t>(parse_u64(value, key));
+    } else if (key == "clients") {
+      scenario.clients = parse_u64(value, key);
+    } else if (key == "workload") {
+      scenario.workload = lower(value);
+    } else if (key == "mean_us") {
+      scenario.mean_us = parse_double(value, key);
+    } else if (key == "bimodal_short_us") {
+      scenario.bimodal_short_us = parse_double(value, key);
+    } else if (key == "bimodal_long_us") {
+      scenario.bimodal_long_us = parse_double(value, key);
+    } else if (key == "bimodal_short_fraction") {
+      scenario.bimodal_short_fraction = parse_double(value, key);
+    } else if (key == "get_fraction") {
+      scenario.get_fraction = parse_double(value, key);
+    } else if (key == "kv_objects") {
+      scenario.kv_objects = parse_u64(value, key);
+    } else if (key == "jitter_p") {
+      scenario.jitter_p = parse_double(value, key);
+    } else if (key == "jitter_multiplier") {
+      scenario.jitter_multiplier = parse_double(value, key);
+    } else if (key == "noise") {
+      scenario.noise = parse_double(value, key);
+    } else if (key == "loads") {
+      scenario.loads = parse_load_list(value);
+    } else if (key == "measure_ms") {
+      scenario.measure_ms = parse_double(value, key);
+    } else if (key == "warmup_ms") {
+      scenario.warmup_ms = parse_double(value, key);
+    } else if (key == "seed") {
+      scenario.seed = parse_u64(value, key);
+    } else if (key == "csv") {
+      scenario.csv_path = value;
+    } else if (key == "title") {
+      scenario.title = value;
+    } else {
+      throw ScenarioError{"line " + std::to_string(line_no) +
+                          ": unknown key '" + key + "'"};
+    }
+  }
+
+  if (scenario.servers < 2) {
+    throw ScenarioError{"'servers' must be >= 2"};
+  }
+  if (scenario.clients < 1) {
+    throw ScenarioError{"'clients' must be >= 1"};
+  }
+  const bool known_workload =
+      scenario.workload == "exp" || scenario.workload == "bimodal" ||
+      scenario.workload == "fixed" || scenario.workload == "redis" ||
+      scenario.workload == "memcached";
+  if (!known_workload) {
+    throw ScenarioError{"unknown workload: " + scenario.workload};
+  }
+  return scenario;
+}
+
+Scenario load_scenario_file(const std::string& path) {
+  std::ifstream in{path};
+  if (!in) {
+    throw ScenarioError{"cannot open scenario file: " + path};
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return parse_scenario(buffer.str());
+}
+
+ClusterConfig Scenario::build_config() const {
+  ClusterConfig cfg;
+  cfg.scheme = scheme;
+  cfg.num_clients = clients;
+  cfg.server_workers.assign(servers, workers);
+  cfg.warmup = SimTime::milliseconds(warmup_ms);
+  cfg.measure = SimTime::milliseconds(measure_ms);
+  cfg.seed = seed;
+
+  const host::JitterModel jitter{jitter_p, jitter_multiplier, noise};
+  if (workload == "exp") {
+    cfg.factory = std::make_shared<host::ExponentialWorkload>(mean_us);
+    cfg.service = std::make_shared<host::SyntheticService>(jitter);
+  } else if (workload == "bimodal") {
+    cfg.factory = std::make_shared<host::BimodalWorkload>(
+        bimodal_short_fraction, bimodal_short_us, bimodal_long_us);
+    cfg.service = std::make_shared<host::SyntheticService>(jitter);
+  } else if (workload == "fixed") {
+    cfg.factory = std::make_shared<host::FixedWorkload>(mean_us);
+    cfg.service = std::make_shared<host::SyntheticService>(jitter);
+  } else {
+    const kv::KvCostProfile profile = workload == "redis"
+                                          ? kv::redis_profile()
+                                          : kv::memcached_profile();
+    auto store = std::make_shared<kv::KvStore>(kv_objects);
+    kv::populate(*store, kv_objects);
+    kv::KvMix mix;
+    mix.get_fraction = get_fraction;
+    mix.num_keys = kv_objects;
+    cfg.factory = std::make_shared<kv::KvRequestFactory>(mix, profile);
+    cfg.service = std::make_shared<kv::KvService>(store, profile, jitter);
+  }
+  return cfg;
+}
+
+double Scenario::capacity_rps() const {
+  const ClusterConfig cfg = build_config();
+  const double inflation = 1.0 + jitter_p * (jitter_multiplier - 1.0);
+  return cluster_capacity_rps(cfg.server_workers,
+                              cfg.factory->mean_intrinsic_us() * inflation);
+}
+
+std::vector<SweepPoint> Scenario::run() const {
+  const ClusterConfig cfg = build_config();
+  const auto points = run_sweep(cfg, capacity_rps(), loads);
+  print_series(title + " — " + std::string{scheme_name(scheme)} + " — " +
+                   cfg.factory->label(),
+               points);
+  if (csv_path) {
+    if (write_csv(*csv_path, points)) {
+      std::printf("wrote %s\n", csv_path->c_str());
+    }
+  }
+  return points;
+}
+
+std::string default_scenario_text() {
+  return R"(# NetClone simulator scenario (all keys optional; defaults shown)
+scheme     = netclone    # baseline | cclone | laedge | netclone |
+                         # netclone-nofilter | racksched | netclone-racksched
+servers    = 6
+workers    = 16
+clients    = 2
+workload   = exp         # exp | bimodal | fixed | redis | memcached
+mean_us    = 25          # exp / fixed intrinsic mean
+# bimodal_short_us = 25
+# bimodal_long_us  = 250
+# bimodal_short_fraction = 0.9
+# get_fraction = 0.99    # kv workloads: GET share (rest are SCANs)
+# kv_objects   = 100000
+jitter_p   = 0.01        # paper: 0.01 high / 0.001 low variability
+jitter_multiplier = 15
+noise      = 0.08        # per-execution microvariation (stddev)
+loads      = 0.1,0.3,0.5,0.7,0.9
+measure_ms = 25
+warmup_ms  = 5
+seed       = 1
+# csv      = sweep.csv   # export the series
+title      = scenario
+)";
+}
+
+}  // namespace netclone::harness

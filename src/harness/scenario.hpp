@@ -1,0 +1,85 @@
+// Text-file experiment scenarios and the CLI front end's engine.
+//
+// A scenario is a flat `key = value` file (# comments allowed) describing
+// one cluster + workload + sweep, e.g.:
+//
+//     scheme     = netclone        # baseline | cclone | laedge | netclone |
+//                                  # netclone-nofilter | racksched |
+//                                  # netclone-racksched
+//     servers    = 6
+//     workers    = 16
+//     clients    = 2
+//     workload   = exp             # exp | bimodal | fixed | redis | memcached
+//     mean_us    = 25
+//     jitter_p   = 0.01
+//     loads      = 0.1,0.3,0.5,0.7,0.9
+//     measure_ms = 25
+//     csv        = sweep.csv       # optional CSV export
+//
+// parse_scenario() validates keys and values; Scenario::run() executes the
+// sweep and prints the standard series table.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "harness/report.hpp"
+
+namespace netclone::harness {
+
+/// Thrown on unknown keys, malformed values, or inconsistent settings.
+class ScenarioError : public std::runtime_error {
+ public:
+  explicit ScenarioError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+struct Scenario {
+  Scheme scheme = Scheme::kNetClone;
+  std::size_t servers = 6;
+  std::uint32_t workers = 16;
+  std::size_t clients = 2;
+  std::string workload = "exp";
+  double mean_us = 25.0;
+  double bimodal_short_us = 25.0;
+  double bimodal_long_us = 250.0;
+  double bimodal_short_fraction = 0.9;
+  double get_fraction = 0.99;   // kv workloads
+  std::uint64_t kv_objects = 100000;
+  double jitter_p = 0.01;
+  double jitter_multiplier = 15.0;
+  double noise = 0.08;
+  std::vector<double> loads = {0.1, 0.3, 0.5, 0.7, 0.9};
+  double measure_ms = 25.0;
+  double warmup_ms = 5.0;
+  std::uint64_t seed = 1;
+  std::optional<std::string> csv_path{};
+  std::string title = "scenario";
+
+  /// Builds the base cluster configuration (offered_rps left at 0; run()
+  /// fills it per load point) plus the capacity estimate.
+  [[nodiscard]] ClusterConfig build_config() const;
+  [[nodiscard]] double capacity_rps() const;
+
+  /// Runs the sweep, prints the series, optionally writes CSV.
+  std::vector<SweepPoint> run() const;
+};
+
+/// Parses `key = value` text into a Scenario. Unknown keys and malformed
+/// values raise ScenarioError with a line reference.
+[[nodiscard]] Scenario parse_scenario(const std::string& text);
+
+/// Reads and parses a scenario file.
+[[nodiscard]] Scenario load_scenario_file(const std::string& path);
+
+/// A template scenario file with every supported key.
+[[nodiscard]] std::string default_scenario_text();
+
+/// Parses a scheme name ("netclone", "c-clone", ...); throws on unknown.
+[[nodiscard]] Scheme parse_scheme(const std::string& name);
+
+}  // namespace netclone::harness

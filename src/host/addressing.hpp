@@ -1,0 +1,38 @@
+// Address plan of the simulated rack (mirrors the paper's 10.0.x.x testbed).
+#pragma once
+
+#include <cstdint>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+#include "wire/ipv4.hpp"
+
+namespace netclone::host {
+
+/// Worker servers live at 10.0.1.101 + sid (Figure 5 uses 10.0.1.10x).
+[[nodiscard]] inline wire::Ipv4Address server_ip(ServerId sid) {
+  const auto v = value_of(sid);
+  NETCLONE_CHECK(v < 150, "server id out of the address plan");
+  return wire::Ipv4Address::from_octets(10, 0, 1,
+                                        static_cast<std::uint8_t>(101 + v));
+}
+
+/// Clients live at 10.0.0.1 + id.
+[[nodiscard]] inline wire::Ipv4Address client_ip(std::uint16_t client_id) {
+  NETCLONE_CHECK(client_id < 250, "client id out of the address plan");
+  return wire::Ipv4Address::from_octets(
+      10, 0, 0, static_cast<std::uint8_t>(1 + client_id));
+}
+
+/// The LÆDGE cloning coordinator.
+[[nodiscard]] inline wire::Ipv4Address coordinator_ip() {
+  return wire::Ipv4Address::from_octets(10, 0, 2, 1);
+}
+
+/// Virtual service address for switch-steered schemes (NetClone,
+/// RackSched): clients address the service, the switch picks the server.
+[[nodiscard]] inline wire::Ipv4Address service_vip() {
+  return wire::Ipv4Address::from_octets(10, 0, 255, 1);
+}
+
+}  // namespace netclone::host

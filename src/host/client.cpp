@@ -1,0 +1,303 @@
+#include "host/client.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <utility>
+
+namespace netclone::host {
+
+Client::Client(sim::Simulator& simulator, ClientParams params,
+               std::shared_ptr<RequestFactory> factory, Rng rng)
+    : phys::Node("client-" + std::to_string(params.client_id)),
+      sim_(simulator),
+      params_(params),
+      factory_(std::move(factory)),
+      rng_(rng),
+      my_ip_(client_ip(params.client_id)),
+      my_mac_(wire::MacAddress::from_node(0x0200U + params.client_id)) {
+  NETCLONE_CHECK(params_.rate_rps > 0.0, "client rate must be positive");
+  NETCLONE_CHECK(params_.num_filter_tables > 0, "need >= 1 filter table");
+  NETCLONE_CHECK(params_.request_fragments >= 1, "need >= 1 fragment");
+  NETCLONE_CHECK(
+      params_.request_fragments == 1 ||
+          params_.mode == SendMode::kViaSwitch,
+      "multi-packet requests are a switch-steered (NetClone) feature");
+  if (params_.mode == SendMode::kDirectRandom ||
+      params_.mode == SendMode::kCClone) {
+    NETCLONE_CHECK(params_.server_ips.size() >= 2,
+                   "direct modes need at least two servers");
+  }
+}
+
+void Client::start() {
+  if (params_.loop == LoopMode::kClosedLoop) {
+    // Prime the window; completions keep it full from here on.
+    sim_.schedule_at(std::max(params_.start_at, sim_.now()), [this] {
+      for (std::uint32_t i = 0; i < params_.closed_loop_window; ++i) {
+        issue_request();
+      }
+    });
+    return;
+  }
+  burst_on_until_ = params_.start_at;  // first ON window opens lazily
+  const SimTime first = next_arrival_time();
+  sim_.schedule_at(std::max(first, sim_.now()), [this] { on_arrival(); });
+}
+
+SimTime Client::next_arrival_time() {
+  const SimTime from = std::max(sim_.now(), params_.start_at);
+  if (params_.arrival == ArrivalProcess::kPoisson) {
+    return from +
+           SimTime::microseconds(rng_.exponential(1e6 / params_.rate_rps));
+  }
+  // MMPP sample path: arrivals run at rate_on inside exponentially
+  // distributed ON windows; leftover inter-arrival time carries across the
+  // OFF gaps, so the long-run mean rate stays rate_rps.
+  const double f = std::clamp(params_.burst_on_fraction, 0.01, 1.0);
+  const double rate_on = params_.rate_rps / f;
+  const double mean_on_us = params_.burst_mean_on.us();
+  const double mean_off_us = mean_on_us * (1.0 - f) / f;
+
+  SimTime t = from + SimTime::microseconds(rng_.exponential(1e6 / rate_on));
+  while (t > burst_on_until_) {
+    const SimTime carry = t - burst_on_until_;
+    const SimTime window_start =
+        burst_on_until_ +
+        SimTime::microseconds(rng_.exponential(mean_off_us));
+    burst_on_until_ =
+        window_start + SimTime::microseconds(rng_.exponential(mean_on_us));
+    t = window_start + carry;
+  }
+  return t;
+}
+
+void Client::schedule_next_arrival() {
+  const SimTime next = next_arrival_time();
+  if (next >= params_.stop_at) {
+    return;  // sending window over; the receiver keeps draining
+  }
+  sim_.schedule_at(next, [this] { on_arrival(); });
+}
+
+void Client::issue_request() {
+  if (sim_.now() >= params_.stop_at) {
+    return;
+  }
+  const std::uint32_t seq = next_seq_++;
+  Pending pending;
+  pending.sent_at = sim_.now();
+  pending.request = factory_->make(rng_);
+  pending.grp = static_cast<std::uint16_t>(
+      rng_.next_below(std::max<std::uint16_t>(params_.num_groups, 1)));
+  pending.idx =
+      static_cast<std::uint8_t>(rng_.next_below(params_.num_filter_tables));
+  if (params_.mode == SendMode::kCClone) {
+    const std::size_t n = params_.server_ips.size();
+    const auto a = static_cast<std::size_t>(rng_.next_below(n));
+    auto b = static_cast<std::size_t>(rng_.next_below(n - 1));
+    if (b >= a) {
+      ++b;
+    }
+    pending.cclone_dsts = {params_.server_ips[a], params_.server_ips[b]};
+  }
+  ++stats_.requests_sent;
+
+  send_all_packets(pending, seq);
+  outstanding_.emplace(seq, pending);
+  arm_retransmit_timer(seq);
+}
+
+void Client::on_arrival() {
+  if (sim_.now() >= params_.stop_at) {
+    return;
+  }
+  issue_request();
+  schedule_next_arrival();
+}
+
+void Client::send_all_packets(const Pending& pending,
+                              std::uint32_t client_seq) {
+  const wire::RpcRequest& req = pending.request;
+  switch (params_.mode) {
+    case SendMode::kViaSwitch:
+    case SendMode::kToCoordinator:
+      for (std::uint8_t f = 0; f < params_.request_fragments; ++f) {
+        emit_request(req, params_.target, pending.grp, pending.idx,
+                     client_seq, f);
+      }
+      break;
+    case SendMode::kDirectRandom: {
+      const auto i = static_cast<std::size_t>(
+          rng_.next_below(params_.server_ips.size()));
+      emit_request(req, params_.server_ips[i], pending.grp, pending.idx,
+                   client_seq, 0);
+      break;
+    }
+    case SendMode::kCClone:
+      // Two copies to two distinct random workers (chosen at issue time);
+      // the client fields both responses itself (no in-network filtering
+      // for C-Clone).
+      emit_request(req, pending.cclone_dsts[0], pending.grp, pending.idx,
+                   client_seq, 0);
+      emit_request(req, pending.cclone_dsts[1], pending.grp, pending.idx,
+                   client_seq, 0);
+      break;
+  }
+}
+
+void Client::arm_retransmit_timer(std::uint32_t client_seq) {
+  if (params_.retransmit_timeout <= SimTime::zero()) {
+    return;
+  }
+  sim_.schedule_after(params_.retransmit_timeout, [this, client_seq] {
+    auto it = outstanding_.find(client_seq);
+    if (it == outstanding_.end() || it->second.completed) {
+      return;
+    }
+    Pending& pending = it->second;
+    if (pending.retries >= params_.max_retransmits) {
+      return;  // give up; the request stays incomplete
+    }
+    ++pending.retries;
+    ++stats_.retransmissions;
+    send_all_packets(pending, client_seq);
+    arm_retransmit_timer(client_seq);
+  });
+}
+
+void Client::emit_request(const wire::RpcRequest& req, wire::Ipv4Address dst,
+                          std::uint16_t grp, std::uint8_t idx,
+                          std::uint32_t client_seq, std::uint8_t frag_idx) {
+  wire::NetCloneHeader nc;
+  // Write operations travel as WREQ so the switch never clones them (§5.5).
+  nc.type = req.op == wire::RpcOp::kSet ? wire::MsgType::kWriteRequest
+                                        : wire::MsgType::kRequest;
+  nc.clo = wire::CloneStatus::kNotCloned;
+  nc.frag_idx = frag_idx;
+  nc.frag_count = params_.request_fragments;
+  nc.grp = grp;
+  nc.req_id = 0;  // assigned by the switch
+  nc.sid = 0;
+  nc.state = 0;
+  nc.idx = idx;
+  nc.switch_id = 0;
+  nc.client_id = params_.client_id;
+  nc.client_seq = client_seq;
+
+  wire::Packet pkt = wire::make_netclone_packet(
+      my_mac_, wire::MacAddress::broadcast(), my_ip_, dst,
+      /*src_port=*/static_cast<std::uint16_t>(40000 + params_.client_id),
+      nc, req.to_frame());
+
+  // Sender thread: serial per-packet cost delays actual emission; the
+  // request's latency clock started at the (open-loop) arrival instant.
+  const SimTime start = std::max(sim_.now(), tx_busy_until_);
+  tx_busy_until_ = start + params_.tx_cost;
+  ++stats_.packets_sent;
+  sim_.schedule_at(tx_busy_until_, [this, bytes = pkt.serialize()]() mutable {
+    send(0, std::move(bytes));
+  });
+}
+
+void Client::send_cancel(const Pending& pending, std::uint32_t client_seq,
+                         wire::Ipv4Address responder) {
+  // Tell the worker that has NOT answered to drop the queued duplicate.
+  const wire::Ipv4Address other = pending.cclone_dsts[0] == responder
+                                      ? pending.cclone_dsts[1]
+                                      : pending.cclone_dsts[0];
+  wire::NetCloneHeader nc;
+  nc.type = wire::MsgType::kCancel;
+  nc.client_id = params_.client_id;
+  nc.client_seq = client_seq;
+  wire::Packet pkt = wire::make_netclone_packet(
+      my_mac_, wire::MacAddress::broadcast(), my_ip_, other,
+      static_cast<std::uint16_t>(40000 + params_.client_id), nc, {});
+  const SimTime start = std::max(sim_.now(), tx_busy_until_);
+  tx_busy_until_ = start + params_.tx_cost;
+  ++stats_.packets_sent;
+  ++stats_.cancels_sent;
+  sim_.schedule_at(tx_busy_until_, [this, bytes = pkt.serialize()]() mutable {
+    send(0, std::move(bytes));
+  });
+}
+
+void Client::handle_frame(std::size_t /*port*/, wire::Frame frame) {
+  wire::Packet pkt;
+  try {
+    pkt = wire::Packet::parse(frame);
+  } catch (const wire::CodecError&) {
+    return;
+  }
+  if (!pkt.has_netclone() || !pkt.nc().is_response()) {
+    return;
+  }
+  // Receiver thread: every arriving response — wanted or redundant — costs
+  // rx_cost of serial CPU before the application sees it.
+  const SimTime done = std::max(sim_.now(), rx_busy_until_) + params_.rx_cost;
+  rx_busy_until_ = done;
+  sim_.schedule_at(done, [this, pkt = std::move(pkt)]() mutable {
+    on_response_processed(std::move(pkt));
+  });
+}
+
+void Client::on_response_processed(wire::Packet pkt) {
+  const wire::NetCloneHeader& nc = pkt.nc();
+  auto it = outstanding_.find(nc.client_seq);
+  if (it == outstanding_.end()) {
+    ++stats_.unmatched_responses;
+    return;
+  }
+  Pending& pending = it->second;
+  if (pending.completed) {
+    ++stats_.redundant_responses;
+    return;
+  }
+  // Multi-packet responses complete when every fragment ordinal has been
+  // seen once; a repeated ordinal is a redundant duplicate (a clone's
+  // response that slipped past the filter).
+  const std::uint64_t bit = std::uint64_t{1} << (nc.frag_idx & 63U);
+  if ((pending.frag_mask & bit) != 0) {
+    ++stats_.redundant_responses;
+    return;
+  }
+  pending.frag_mask |= bit;
+  if (!pkt.payload.empty()) {
+    // The payload-bearing fragment carries the server's decomposition.
+    try {
+      const wire::RpcResponse body =
+          wire::RpcResponse::from_frame(pkt.payload);
+      pending.server_wait_ns = body.queue_wait_ns;
+      pending.server_service_ns = body.service_ns;
+    } catch (const wire::CodecError&) {
+      // tolerate foreign payloads; decomposition stays zero
+    }
+  }
+  if (std::popcount(pending.frag_mask) <
+      static_cast<int>(nc.frag_count)) {
+    return;  // waiting for the remaining fragments
+  }
+  pending.completed = true;
+  ++stats_.completed;
+  if (params_.mode == SendMode::kCClone && params_.cclone_cancel) {
+    send_cancel(pending, nc.client_seq, pkt.ip.src);
+  }
+  if (params_.loop == LoopMode::kClosedLoop) {
+    issue_request();  // keep the window full
+  }
+  const SimTime now = sim_.now();
+  if (pending.sent_at >= params_.warmup_until) {
+    stats_.latency.record(now - pending.sent_at);
+    stats_.server_queue_wait.record(
+        SimTime::nanoseconds(pending.server_wait_ns));
+    stats_.server_service.record(
+        SimTime::nanoseconds(pending.server_service_ns));
+    pending.measured = true;
+  }
+  if (now >= params_.warmup_until && now <= params_.stop_at) {
+    ++stats_.completed_in_window;
+  }
+  // Keep the entry so a late duplicate is classified as redundant; entries
+  // for never-duplicated requests are reclaimed wholesale with the client.
+}
+
+}  // namespace netclone::host

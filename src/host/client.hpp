@@ -1,0 +1,197 @@
+// Open-loop measurement client (paper §4.2).
+//
+// A sender thread generates requests with exponentially distributed
+// inter-arrival times at a target rate; a receiver thread matches responses
+// to outstanding requests and records end-to-end latency. Both threads are
+// modeled as serial CPU resources, so redundant responses (unfiltered
+// duplicates) and duplicate sends (C-Clone) consume real client capacity —
+// the effect Figures 15 and 7 quantify.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/histogram.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "host/addressing.hpp"
+#include "host/workload.hpp"
+#include "phys/node.hpp"
+#include "sim/simulator.hpp"
+#include "wire/frame.hpp"
+
+namespace netclone::host {
+
+/// How the client addresses requests.
+enum class SendMode {
+  /// One packet to the service VIP; the switch picks the destination
+  /// (NetClone, RackSched and their combination).
+  kViaSwitch,
+  /// One packet to a uniformly random worker server (the paper's baseline).
+  kDirectRandom,
+  /// Two packets to two distinct random workers (C-Clone).
+  kCClone,
+  /// One packet to the LÆDGE coordinator.
+  kToCoordinator,
+};
+
+/// Shape of the request arrival process.
+enum class ArrivalProcess {
+  /// Exponential inter-arrival times (the paper's open-loop client).
+  kPoisson,
+  /// Markov-modulated ON/OFF bursts: Poisson at an elevated rate during
+  /// exponentially-distributed ON windows, silent in between. The mean
+  /// rate still equals rate_rps; burst intensity is 1/burst_on_fraction.
+  kBursty,
+};
+
+/// How request issuance is paced.
+enum class LoopMode {
+  /// The paper's load generator: arrivals follow the configured process
+  /// regardless of completions.
+  kOpenLoop,
+  /// Classic RPC-benchmark pacing: keep `closed_loop_window` requests in
+  /// flight; each completion immediately issues the next request.
+  kClosedLoop,
+};
+
+struct ClientParams {
+  std::uint16_t client_id = 0;
+  SendMode mode = SendMode::kViaSwitch;
+  LoopMode loop = LoopMode::kOpenLoop;
+  /// In-flight window for kClosedLoop.
+  std::uint32_t closed_loop_window = 16;
+  /// Offered load in requests per second (long-run mean for kBursty;
+  /// ignored in closed-loop mode).
+  double rate_rps = 100000.0;
+  ArrivalProcess arrival = ArrivalProcess::kPoisson;
+  /// kBursty: fraction of time spent in the ON state (0 < f <= 1).
+  double burst_on_fraction = 0.25;
+  /// kBursty: mean length of one ON window.
+  SimTime burst_mean_on = SimTime::microseconds(200.0);
+  /// Number of candidate-server groups installed in GrpT (2·C(n,2)).
+  std::uint16_t num_groups = 1;
+  /// Number of filter tables in the switch (the IDX field range).
+  std::uint8_t num_filter_tables = 2;
+  /// Worker addresses, needed by kDirectRandom / kCClone.
+  std::vector<wire::Ipv4Address> server_ips{};
+  /// Destination for kViaSwitch / kToCoordinator.
+  wire::Ipv4Address target{};
+  /// Receiver-thread CPU time per response.
+  SimTime rx_cost = SimTime::nanoseconds(300);
+  /// Sender-thread CPU time per transmitted packet.
+  SimTime tx_cost = SimTime::nanoseconds(100);
+  /// Sending window.
+  SimTime start_at = SimTime::zero();
+  SimTime stop_at = SimTime::max();
+  /// Samples sent before this instant are excluded from the histogram.
+  SimTime warmup_until = SimTime::zero();
+  /// Multi-packet requests (§3.7): each request is sent as this many
+  /// fragments sharing one CLIENT_SEQ and group id. The switch needs
+  /// enable_multipacket + client-tuple request ids for > 1.
+  std::uint8_t request_fragments = 1;
+  /// TCP-mode reliability (§3.7): when non-zero, an uncompleted request is
+  /// re-sent after this timeout (same CLIENT_SEQ, so the switch derives
+  /// the same REQ_ID in client-tuple mode), up to max_retransmits times.
+  SimTime retransmit_timeout = SimTime::zero();
+  std::uint32_t max_retransmits = 3;
+  /// C-Clone's optional cancellation (§2.2): after the first response
+  /// arrives, tell the server that has not answered to drop the queued
+  /// duplicate. The paper cites evidence this buys little —
+  /// bench_ablation_cancel measures it.
+  bool cclone_cancel = false;
+};
+
+struct ClientStats {
+  std::uint64_t requests_sent = 0;
+  std::uint64_t packets_sent = 0;
+  std::uint64_t completed = 0;
+  /// Completions whose response arrived inside [warmup_until, stop_at].
+  std::uint64_t completed_in_window = 0;
+  /// Responses for requests already completed (slipped past filtering).
+  std::uint64_t redundant_responses = 0;
+  /// Responses that matched no outstanding request.
+  std::uint64_t unmatched_responses = 0;
+  /// Timeout-triggered re-sends (TCP mode).
+  std::uint64_t retransmissions = 0;
+  /// Cancel messages sent (C-Clone cancellation).
+  std::uint64_t cancels_sent = 0;
+  LatencyHistogram latency;
+  /// Server-reported decomposition of the accepted responses: time in the
+  /// FCFS queue and execution time. latency − wait − service ≈ network +
+  /// host processing. Populated from the same samples as `latency`.
+  LatencyHistogram server_queue_wait;
+  LatencyHistogram server_service;
+};
+
+class Client : public phys::Node {
+ public:
+  Client(sim::Simulator& simulator, ClientParams params,
+         std::shared_ptr<RequestFactory> factory, Rng rng);
+
+  /// Schedules the first send; call once after topology wiring.
+  void start();
+
+  void handle_frame(std::size_t port, wire::Frame frame) override;
+
+  [[nodiscard]] const ClientStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t outstanding() const {
+    return outstanding_.size();
+  }
+
+  /// Control-plane reconfiguration after a server add/remove (§3.6): the
+  /// operator tells clients the new group count.
+  void set_num_groups(std::uint16_t num_groups) {
+    params_.num_groups = num_groups;
+  }
+
+ private:
+  struct Pending {
+    SimTime sent_at;
+    bool completed = false;
+    bool measured = false;
+    std::uint64_t frag_mask = 0;  // response fragments received so far
+    std::uint32_t retries = 0;
+    wire::RpcRequest request{};   // kept for retransmission
+    std::uint16_t grp = 0;
+    std::uint8_t idx = 0;
+    /// Decomposition reported by the (winning) server, from the response
+    /// fragment that carried the payload.
+    std::uint32_t server_wait_ns = 0;
+    std::uint32_t server_service_ns = 0;
+    /// C-Clone: the two chosen workers, for targeted cancellation.
+    std::array<wire::Ipv4Address, 2> cclone_dsts{};
+  };
+
+  void issue_request();
+  void on_arrival();
+  void schedule_next_arrival();
+  [[nodiscard]] SimTime next_arrival_time();
+  void send_cancel(const Pending& pending, std::uint32_t client_seq,
+                   wire::Ipv4Address responder);
+  void send_all_packets(const Pending& pending, std::uint32_t client_seq);
+  void emit_request(const wire::RpcRequest& req, wire::Ipv4Address dst,
+                    std::uint16_t grp, std::uint8_t idx,
+                    std::uint32_t client_seq, std::uint8_t frag_idx);
+  void arm_retransmit_timer(std::uint32_t client_seq);
+  void on_response_processed(wire::Packet pkt);
+
+  sim::Simulator& sim_;
+  ClientParams params_;
+  std::shared_ptr<RequestFactory> factory_;
+  Rng rng_;
+  wire::Ipv4Address my_ip_;
+  wire::MacAddress my_mac_;
+
+  SimTime tx_busy_until_ = SimTime::zero();
+  SimTime rx_busy_until_ = SimTime::zero();
+  SimTime burst_on_until_ = SimTime::zero();  // end of the current ON window
+  std::uint32_t next_seq_ = 1;
+  std::unordered_map<std::uint32_t, Pending> outstanding_;
+  ClientStats stats_;
+};
+
+}  // namespace netclone::host

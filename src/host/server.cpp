@@ -1,0 +1,222 @@
+#include "host/server.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <utility>
+
+namespace netclone::host {
+
+Server::Server(sim::Simulator& simulator, ServerParams params,
+               std::shared_ptr<ServiceModel> service, Rng rng)
+    : phys::Node("server-" + std::to_string(value_of(params.sid))),
+      sim_(simulator),
+      params_(params),
+      service_(std::move(service)),
+      rng_(rng),
+      my_ip_(server_ip(params.sid)),
+      my_mac_(wire::MacAddress::from_node(0x0100U + value_of(params.sid))) {
+  NETCLONE_CHECK(params_.workers > 0, "server needs at least one worker");
+}
+
+void Server::handle_frame(std::size_t /*port*/, wire::Frame frame) {
+  wire::Packet pkt;
+  try {
+    pkt = wire::Packet::parse(frame);
+  } catch (const wire::CodecError&) {
+    return;  // not for us / corrupt — a real NIC would also discard it
+  }
+  if (!pkt.has_netclone() ||
+      (!pkt.nc().is_request() && !pkt.nc().is_cancel())) {
+    return;  // servers only consume requests and cancels
+  }
+  // The dispatcher thread is a serial resource: packets are picked up one
+  // at a time, `dispatch_cost` apart when busy.
+  const SimTime now = sim_.now();
+  const SimTime start = std::max(now, dispatcher_busy_until_);
+  dispatcher_busy_until_ = start + params_.dispatch_cost;
+  sim_.schedule_at(dispatcher_busy_until_,
+                   [this, pkt = std::move(pkt)]() mutable {
+                     on_dispatch(std::move(pkt));
+                   });
+}
+
+void Server::on_cancel(const wire::NetCloneHeader& nc) {
+  // Cancel only reaches into the waiting queue; a request already being
+  // executed runs to completion (no preemption, as in C-Clone practice).
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    const wire::NetCloneHeader& queued = it->pkt.nc();
+    if (queued.client_id == nc.client_id &&
+        queued.client_seq == nc.client_seq) {
+      queue_.erase(it);
+      ++stats_.cancelled_requests;
+      return;
+    }
+  }
+  ++stats_.cancel_misses;
+}
+
+void Server::on_dispatch(wire::Packet pkt) {
+  if ((++dispatch_counter_ & 0xFFFU) == 0 && !partials_.empty()) {
+    sweep_stale_partials();
+  }
+  if (pkt.nc().is_cancel()) {
+    on_cancel(pkt.nc());
+    return;
+  }
+  ++stats_.rx_requests;
+  const wire::NetCloneHeader& nc = pkt.nc();
+  // §3.4: the switch cloned this request believing we were idle. If the
+  // server says otherwise the tracked state was stale — drop the copy. The
+  // original (CLO=1) is never dropped. For multi-packet requests the check
+  // applies per fragment, which is why a partially-cloned request can
+  // strand a partial reassembly (swept by TTL below).
+  if (params_.drop_busy_clones &&
+      nc.clo == wire::CloneStatus::kClonedCopy) {
+    const bool busy =
+        params_.clone_admission == CloneAdmission::kQueueEmpty
+            ? !queue_.empty()
+            : !queue_.empty() || busy_workers_ >= params_.workers;
+    if (busy) {
+      ++stats_.dropped_stale_clones;
+      return;
+    }
+  }
+  if (nc.multi_packet() && !reassemble(pkt)) {
+    return;  // waiting for more fragments
+  }
+  queue_.push_back(QueueEntry{std::move(pkt), sim_.now()});
+  stats_.max_queue_depth = std::max(stats_.max_queue_depth, queue_.size());
+  try_start_worker();
+}
+
+bool Server::reassemble(wire::Packet& pkt) {
+  const wire::NetCloneHeader& nc = pkt.nc();
+  const std::uint64_t key =
+      static_cast<std::uint64_t>(nc.client_id) << 32 | nc.client_seq;
+  PartialRequest& partial = partials_[key];
+  if (partial.frag_mask == 0) {
+    partial.first_fragment = pkt;
+  }
+  partial.frag_mask |= std::uint64_t{1} << (nc.frag_idx & 63U);
+  partial.last_update = sim_.now();
+  if (std::popcount(partial.frag_mask) <
+      static_cast<int>(nc.frag_count)) {
+    return false;
+  }
+  // Complete: surface the first fragment (it carries the RPC payload and
+  // the CLO marking of the cloning decision) as the assembled request.
+  const std::uint8_t frag_count = nc.frag_count;
+  pkt = std::move(partial.first_fragment);
+  pkt.nc().frag_idx = 0;
+  pkt.nc().frag_count = frag_count;
+  partials_.erase(key);
+  ++stats_.reassembled_requests;
+  return true;
+}
+
+void Server::sweep_stale_partials() {
+  const SimTime cutoff = sim_.now() - params_.partial_request_ttl;
+  for (auto it = partials_.begin(); it != partials_.end();) {
+    if (it->second.last_update < cutoff) {
+      it = partials_.erase(it);
+      ++stats_.expired_partials;
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Server::try_start_worker() {
+  if (busy_workers_ >= params_.workers || queue_.empty()) {
+    return;
+  }
+  wire::Packet pkt = std::move(queue_.front().pkt);
+  const SimTime queue_wait = sim_.now() - queue_.front().enqueued_at;
+  stats_.queue_wait.record(queue_wait);
+  queue_.pop_front();
+  ++busy_workers_;
+
+  wire::RpcRequest req;
+  try {
+    req = wire::RpcRequest::from_frame(pkt.payload);
+  } catch (const wire::CodecError&) {
+    --busy_workers_;
+    try_start_worker();
+    return;
+  }
+  const SimTime exec = service_->execution_time(req, rng_);
+  sim_.schedule_after(exec + params_.response_tx_cost,
+                      [this, queue_wait, exec,
+                       pkt = std::move(pkt)]() mutable {
+                        on_complete(std::move(pkt), queue_wait, exec);
+                      });
+}
+
+void Server::on_complete(wire::Packet pkt, SimTime queue_wait,
+                         SimTime service) {
+  ++stats_.completed;
+
+  wire::RpcRequest req{};
+  try {
+    req = wire::RpcRequest::from_frame(pkt.payload);
+  } catch (const wire::CodecError&) {
+    // unreachable: parsed successfully before execution
+  }
+
+  wire::Packet resp;
+  resp.eth.src = my_mac_;
+  resp.eth.dst = pkt.eth.src;
+  resp.ip.src = my_ip_;
+  resp.ip.dst = pkt.ip.src;  // back to whoever sent the request
+  resp.udp.src_port = wire::kNetClonePort;
+  resp.udp.dst_port = pkt.udp.src_port;
+
+  wire::NetCloneHeader nc = pkt.nc();
+  nc.type = wire::MsgType::kResponse;
+  nc.sid = value_of(params_.sid);
+  // Piggyback the *current* queue length — the state signal of §3.4. The
+  // switch treats 0 as idle; the RackSched integration uses the raw value.
+  const auto qlen = static_cast<std::uint16_t>(
+      std::min<std::size_t>(queue_.size(), 0xFFFF));
+  nc.state = qlen;
+  resp.netclone = nc;
+  wire::RpcResponse body = service_->execute(req);
+  // Latency decomposition for the client (clamped to the field width;
+  // 4.2 s of queueing would mean something far worse than truncation).
+  body.queue_wait_ns = static_cast<std::uint32_t>(
+      std::min<std::int64_t>(queue_wait.ns(), 0xFFFFFFFFLL));
+  body.service_ns = static_cast<std::uint32_t>(
+      std::min<std::int64_t>(service.ns(), 0xFFFFFFFFLL));
+  resp.payload = body.to_frame();
+
+  ++stats_.responses_total;
+  if (qlen == 0) {
+    ++stats_.responses_with_empty_queue;
+  }
+
+  if (params_.response_fragments <= 1) {
+    resp.nc().frag_idx = 0;
+    resp.nc().frag_count = 1;
+    send(0, resp.serialize());
+  } else {
+    for (std::uint8_t f = 0; f < params_.response_fragments; ++f) {
+      send_response_fragment(resp, f);
+    }
+  }
+
+  --busy_workers_;
+  try_start_worker();
+}
+
+void Server::send_response_fragment(const wire::Packet& resp,
+                                    std::uint8_t frag_idx) {
+  wire::Packet fragment = resp;
+  fragment.nc().frag_idx = frag_idx;
+  fragment.nc().frag_count = params_.response_fragments;
+  if (frag_idx > 0) {
+    fragment.payload.clear();  // the payload travels in fragment 0
+  }
+  send(0, fragment.serialize());
+}
+
+}  // namespace netclone::host

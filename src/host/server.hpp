@@ -1,0 +1,132 @@
+// Worker server model (paper §4.2).
+//
+// One dispatcher thread drains the NIC and enqueues requests into a global
+// FCFS queue; `workers` worker threads dequeue and execute in parallel. The
+// NetClone server-side mechanisms (§3.4) live here:
+//   * a cloned request (CLO=2) arriving while the queue is non-empty is
+//     dropped — the tracked switch state was stale;
+//   * every response piggybacks the current queue length in STATE, which is
+//     how the switch learns server idleness.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+
+#include "common/histogram.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "host/addressing.hpp"
+#include "host/service.hpp"
+#include "phys/node.hpp"
+#include "sim/simulator.hpp"
+#include "wire/frame.hpp"
+
+namespace netclone::host {
+
+/// When a switch-cloned copy (CLO=2) may be accepted instead of dropped.
+enum class CloneAdmission {
+  /// Paper-literal §3.4: accept iff the FCFS queue is empty (a copy may
+  /// still wait if every worker is busy).
+  kQueueEmpty,
+  /// Stricter: accept iff a worker can run it immediately. Sheds the
+  /// harmful clones that would queue behind a full worker pool at high
+  /// load; bench_ablation_admission quantifies the difference.
+  kWorkerFree,
+};
+
+struct ServerParams {
+  ServerId sid{};
+  /// Parallel worker threads (paper: 16 per server for synthetic runs,
+  /// 8 for the KV experiments, 15 vs 8 in the heterogeneous Fig. 10 setup).
+  std::uint32_t workers = 16;
+  /// Dispatcher CPU time per received packet (VMA userspace path).
+  SimTime dispatch_cost = SimTime::nanoseconds(300);
+  /// CPU time a worker spends building + sending the response.
+  SimTime response_tx_cost = SimTime::nanoseconds(150);
+  /// NetClone server-side mechanism: drop CLO=2 requests when the server
+  /// is busier than the tracked state promised. Always safe to leave on:
+  /// only switch-cloned copies match.
+  bool drop_busy_clones = true;
+  CloneAdmission clone_admission = CloneAdmission::kQueueEmpty;
+  /// Multi-packet responses (§3.7): each response is sent as this many
+  /// fragments; the switch filters them through ordered filter tables.
+  /// Keep <= the switch's filter-table count.
+  std::uint8_t response_fragments = 1;
+  /// Partially reassembled multi-packet requests older than this are
+  /// garbage-collected (a fragment was dropped, e.g. a stale clone copy).
+  SimTime partial_request_ttl = SimTime::milliseconds(50);
+};
+
+struct ServerStats {
+  std::uint64_t rx_requests = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t dropped_stale_clones = 0;
+  /// Responses sent while the queue was empty (Fig. 13a's state signal).
+  std::uint64_t responses_with_empty_queue = 0;
+  std::uint64_t responses_total = 0;
+  /// Peak of the FCFS queue, for sanity reporting.
+  std::size_t max_queue_depth = 0;
+  /// Multi-packet requests fully reassembled and executed.
+  std::uint64_t reassembled_requests = 0;
+  /// Partial reassemblies expired because a fragment never arrived.
+  std::uint64_t expired_partials = 0;
+  /// Queued requests removed by a client cancellation (C-Clone cancel).
+  std::uint64_t cancelled_requests = 0;
+  /// Cancels that matched nothing (request in service or already done).
+  std::uint64_t cancel_misses = 0;
+  /// Time requests spent waiting in the FCFS queue before a worker took
+  /// them — the variability source JSQ/cloning mask.
+  LatencyHistogram queue_wait;
+};
+
+class Server : public phys::Node {
+ public:
+  Server(sim::Simulator& simulator, ServerParams params,
+         std::shared_ptr<ServiceModel> service, Rng rng);
+
+  void handle_frame(std::size_t port, wire::Frame frame) override;
+
+  [[nodiscard]] const ServerStats& stats() const { return stats_; }
+  [[nodiscard]] ServerId sid() const { return params_.sid; }
+  [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
+  [[nodiscard]] std::uint32_t busy_workers() const { return busy_workers_; }
+
+ private:
+  struct PartialRequest {
+    wire::Packet first_fragment;
+    std::uint64_t frag_mask = 0;
+    SimTime last_update;
+  };
+  struct QueueEntry {
+    wire::Packet pkt;
+    SimTime enqueued_at;
+  };
+
+  void on_dispatch(wire::Packet pkt);
+  void on_cancel(const wire::NetCloneHeader& nc);
+  /// Returns true when all fragments arrived; `pkt` then holds the
+  /// reassembled request.
+  bool reassemble(wire::Packet& pkt);
+  void sweep_stale_partials();
+  void try_start_worker();
+  void on_complete(wire::Packet pkt, SimTime queue_wait, SimTime service);
+  void send_response_fragment(const wire::Packet& resp,
+                              std::uint8_t frag_idx);
+
+  sim::Simulator& sim_;
+  ServerParams params_;
+  std::shared_ptr<ServiceModel> service_;
+  Rng rng_;
+  wire::Ipv4Address my_ip_;
+  wire::MacAddress my_mac_;
+
+  SimTime dispatcher_busy_until_ = SimTime::zero();
+  std::deque<QueueEntry> queue_;
+  std::unordered_map<std::uint64_t, PartialRequest> partials_;
+  std::uint64_t dispatch_counter_ = 0;
+  std::uint32_t busy_workers_ = 0;
+  ServerStats stats_;
+};
+
+}  // namespace netclone::host

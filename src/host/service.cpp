@@ -1,0 +1,15 @@
+#include "host/service.hpp"
+
+namespace netclone::host {
+
+SimTime SyntheticService::execution_time(const wire::RpcRequest& req,
+                                         Rng& rng) {
+  const auto base = SimTime::nanoseconds(req.intrinsic_ns);
+  return jitter_.apply(base, rng);
+}
+
+wire::RpcResponse SyntheticService::execute(const wire::RpcRequest&) {
+  return wire::RpcResponse{};
+}
+
+}  // namespace netclone::host

@@ -1,0 +1,90 @@
+// Server-side service execution models.
+//
+// The cost of one RPC execution decomposes per the paper's variability model
+// (§5.1.2, following LÆDGE):
+//
+//   execution = intrinsic × (jitter ? 15 : 1)
+//
+// The *intrinsic* duration is a property of the request (the job size drawn
+// from Exp/Bimodal by the workload generator, or the number of objects a KV
+// op touches) and is identical for both copies of a cloned request. The
+// *jitter* — garbage collection, interrupts, background work — is a property
+// of the server at execution time and is drawn independently per execution.
+// This split is what makes cloning effective: the minimum of two executions
+// masks jitter but cannot shrink the job itself.
+#pragma once
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "wire/rpc.hpp"
+
+namespace netclone::host {
+
+struct JitterModel {
+  /// Probability that one execution hits an unexpected slowdown (paper
+  /// uses p = 0.01 for high variability, p = 0.001 for low).
+  double probability = 0.01;
+  /// Slowdown factor of a jittered execution (paper: 15×).
+  double multiplier = 15.0;
+  /// Per-execution microvariation: a multiplicative Gaussian factor
+  /// N(1, noise_stddev) modeling the small, always-present sources of
+  /// server-side variance the paper lists in §2.1 (interrupts, OS
+  /// scheduling, cache effects, power management). Zero disables it —
+  /// unit tests use exact timings; the figure benches enable a small
+  /// value so executions of the same job are never bit-identical.
+  double noise_stddev = 0.0;
+
+  [[nodiscard]] SimTime apply(SimTime base, Rng& rng) const {
+    double factor = 1.0;
+    if (noise_stddev > 0.0) {
+      // Clamp at 3 sigma below the mean so time never goes negative.
+      factor = std::max(1.0 - 3.0 * noise_stddev,
+                        rng.normal(1.0, noise_stddev));
+    }
+    if (probability > 0.0 && rng.bernoulli(probability)) {
+      factor *= multiplier;
+    }
+    return SimTime::nanoseconds(static_cast<std::int64_t>(
+        static_cast<double>(base.ns()) * factor));
+  }
+
+  /// Mean inflation factor of the jitter: E[execution] / intrinsic.
+  /// (The microvariation has mean ~1 and does not shift this.)
+  [[nodiscard]] double mean_inflation() const {
+    return 1.0 + probability * (multiplier - 1.0);
+  }
+};
+
+/// What a worker thread does with a request: how long it runs and what the
+/// response payload is.
+class ServiceModel {
+ public:
+  virtual ~ServiceModel() = default;
+
+  /// Samples the wall time of one execution of `req` on this server.
+  [[nodiscard]] virtual SimTime execution_time(const wire::RpcRequest& req,
+                                               Rng& rng) = 0;
+
+  /// Produces the response payload.
+  [[nodiscard]] virtual wire::RpcResponse execute(
+      const wire::RpcRequest& req) = 0;
+};
+
+/// Synthetic dummy RPC: runs for the intrinsic duration carried in the
+/// request (plus jitter) and returns an empty OK response.
+class SyntheticService final : public ServiceModel {
+ public:
+  explicit SyntheticService(JitterModel jitter) : jitter_(jitter) {}
+
+  [[nodiscard]] SimTime execution_time(const wire::RpcRequest& req,
+                                       Rng& rng) override;
+  [[nodiscard]] wire::RpcResponse execute(
+      const wire::RpcRequest& req) override;
+
+ private:
+  JitterModel jitter_;
+};
+
+}  // namespace netclone::host

@@ -1,0 +1,52 @@
+#include "host/workload.hpp"
+
+#include <cstdio>
+
+namespace netclone::host {
+namespace {
+
+wire::RpcRequest synthetic_request(double duration_us) {
+  wire::RpcRequest req;
+  req.op = wire::RpcOp::kSynthetic;
+  req.intrinsic_ns =
+      static_cast<std::uint32_t>(std::max(duration_us, 0.0) * 1000.0);
+  return req;
+}
+
+}  // namespace
+
+wire::RpcRequest ExponentialWorkload::make(Rng& rng) {
+  return synthetic_request(rng.exponential(mean_us_));
+}
+
+std::string ExponentialWorkload::label() const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "Exp(%.0f)", mean_us_);
+  return buf;
+}
+
+wire::RpcRequest BimodalWorkload::make(Rng& rng) {
+  const double us =
+      rng.bernoulli(short_fraction_) ? short_us_ : long_us_;
+  return synthetic_request(us);
+}
+
+std::string BimodalWorkload::label() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "Bimodal(%.0f%%-%.0f,%.0f%%-%.0f)",
+                short_fraction_ * 100.0, short_us_,
+                (1.0 - short_fraction_) * 100.0, long_us_);
+  return buf;
+}
+
+wire::RpcRequest FixedWorkload::make(Rng&) {
+  return synthetic_request(us_);
+}
+
+std::string FixedWorkload::label() const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "Fixed(%.0f)", us_);
+  return buf;
+}
+
+}  // namespace netclone::host

@@ -1,0 +1,80 @@
+// Request factories: the workload side of §5.1.2.
+//
+// A factory stamps out RpcRequests; for synthetic workloads it draws the
+// intrinsic job size from the paper's distributions. KV workloads (Redis /
+// Memcached, §5.5) provide their own factory in src/kv.
+#pragma once
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "wire/rpc.hpp"
+
+namespace netclone::host {
+
+class RequestFactory {
+ public:
+  virtual ~RequestFactory() = default;
+
+  [[nodiscard]] virtual wire::RpcRequest make(Rng& rng) = 0;
+
+  /// Mean intrinsic duration in microseconds (before jitter); used by the
+  /// harness to convert load fractions into request rates.
+  [[nodiscard]] virtual double mean_intrinsic_us() const = 0;
+
+  /// Short label for reports, e.g. "Exp(25)".
+  [[nodiscard]] virtual std::string label() const = 0;
+};
+
+/// Exponentially distributed job sizes: Exp(mean) — "common short-lasting
+/// RPCs". The paper's default is mean = 25 us; 50 us and 500 us probe the
+/// impact of RPC duration.
+class ExponentialWorkload final : public RequestFactory {
+ public:
+  explicit ExponentialWorkload(double mean_us) : mean_us_(mean_us) {}
+
+  [[nodiscard]] wire::RpcRequest make(Rng& rng) override;
+  [[nodiscard]] double mean_intrinsic_us() const override {
+    return mean_us_;
+  }
+  [[nodiscard]] std::string label() const override;
+
+ private:
+  double mean_us_;
+};
+
+/// Bimodal job sizes: a mix of simple and complex RPCs. The paper uses
+/// 90% × 25 us + 10% × 250 us.
+class BimodalWorkload final : public RequestFactory {
+ public:
+  BimodalWorkload(double short_fraction, double short_us, double long_us)
+      : short_fraction_(short_fraction),
+        short_us_(short_us),
+        long_us_(long_us) {}
+
+  [[nodiscard]] wire::RpcRequest make(Rng& rng) override;
+  [[nodiscard]] double mean_intrinsic_us() const override {
+    return short_fraction_ * short_us_ + (1.0 - short_fraction_) * long_us_;
+  }
+  [[nodiscard]] std::string label() const override;
+
+ private:
+  double short_fraction_;
+  double short_us_;
+  double long_us_;
+};
+
+/// Deterministic job size; useful for tests and microbenchmarks.
+class FixedWorkload final : public RequestFactory {
+ public:
+  explicit FixedWorkload(double us) : us_(us) {}
+
+  [[nodiscard]] wire::RpcRequest make(Rng& rng) override;
+  [[nodiscard]] double mean_intrinsic_us() const override { return us_; }
+  [[nodiscard]] std::string label() const override;
+
+ private:
+  double us_;
+};
+
+}  // namespace netclone::host

@@ -1,0 +1,121 @@
+#include "kv/store.hpp"
+
+#include <bit>
+#include <cstdio>
+#include <cstring>
+
+#include "common/check.hpp"
+#include "common/hash.hpp"
+
+namespace netclone::kv {
+
+KvStore::KvStore(std::size_t capacity_hint) {
+  NETCLONE_CHECK(capacity_hint > 0, "store capacity must be positive");
+  const std::size_t capacity = std::bit_ceil(capacity_hint * 2);
+  slots_.resize(capacity);
+  mask_ = capacity - 1;
+}
+
+std::size_t KvStore::slot_of(std::string_view key) const {
+  return static_cast<std::size_t>(fnv1a(key)) & mask_;
+}
+
+std::optional<std::size_t> KvStore::probe(std::string_view key) const {
+  const std::size_t start = slot_of(key);
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    const std::size_t idx = (start + i) & mask_;
+    const Slot& slot = slots_[idx];
+    if (!slot.occupied) {
+      return idx;
+    }
+    if (slot.key_len == key.size() &&
+        std::memcmp(slot.key, key.data(), key.size()) == 0) {
+      return idx;
+    }
+  }
+  return std::nullopt;
+}
+
+bool KvStore::set(std::string_view key, std::string_view value) {
+  if (key.empty() || key.size() > kMaxKeyBytes ||
+      value.size() > kMaxValueBytes) {
+    return false;
+  }
+  // Keep the load factor at or below 1/2 so probe chains stay short.
+  if (!contains(key) && (size_ + 1) * 2 > slots_.size()) {
+    return false;
+  }
+  const auto idx = probe(key);
+  if (!idx) {
+    return false;
+  }
+  Slot& slot = slots_[*idx];
+  if (!slot.occupied) {
+    slot.occupied = true;
+    slot.key_len = static_cast<std::uint8_t>(key.size());
+    std::memcpy(slot.key, key.data(), key.size());
+    ++size_;
+  }
+  slot.value_len = static_cast<std::uint8_t>(value.size());
+  std::memcpy(slot.value, value.data(), value.size());
+  return true;
+}
+
+std::optional<std::string_view> KvStore::get(std::string_view key) const {
+  if (key.empty() || key.size() > kMaxKeyBytes) {
+    return std::nullopt;
+  }
+  const auto idx = probe(key);
+  if (!idx || !slots_[*idx].occupied) {
+    return std::nullopt;
+  }
+  const Slot& slot = slots_[*idx];
+  return std::string_view{slot.value, slot.value_len};
+}
+
+std::uint64_t KvStore::scan_digest(std::string_view start_key,
+                                   std::size_t count) const {
+  std::uint64_t digest = 0xCBF29CE484222325ULL;
+  std::size_t visited = 0;
+  const std::size_t start = slot_of(start_key);
+  for (std::size_t i = 0; i < slots_.size() && visited < count; ++i) {
+    const Slot& slot = slots_[(start + i) & mask_];
+    if (!slot.occupied) {
+      continue;
+    }
+    for (std::uint8_t b = 0; b < slot.value_len; ++b) {
+      digest ^= static_cast<std::uint8_t>(slot.value[b]);
+      digest *= 0x100000001B3ULL;
+    }
+    ++visited;
+  }
+  return digest;
+}
+
+std::string key_for_index(std::uint64_t index) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "k%015llu",
+                static_cast<unsigned long long>(index));
+  return std::string{buf, kMaxKeyBytes};
+}
+
+std::string value_for_index(std::uint64_t index) {
+  std::string value;
+  value.reserve(kMaxValueBytes);
+  std::uint64_t state = mix64(index + 1);
+  while (value.size() < kMaxValueBytes) {
+    state = mix64(state);
+    // Printable bytes keep pcap dumps and debugging output readable.
+    value.push_back(static_cast<char>('a' + state % 26));
+  }
+  return value;
+}
+
+void populate(KvStore& store, std::size_t count) {
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const bool ok = store.set(key_for_index(i), value_for_index(i));
+    NETCLONE_CHECK(ok, "store population failed (capacity too small)");
+  }
+}
+
+}  // namespace netclone::kv

@@ -1,0 +1,31 @@
+// Zipfian key popularity (the paper's Zipf-0.99 skew, §5.5), using the
+// Gray et al. rejection-free inversion method popularized by YCSB.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+
+namespace netclone::kv {
+
+class ZipfGenerator {
+ public:
+  /// Items are 0..n-1; `theta` is the skew (0 = uniform, 0.99 = paper).
+  ZipfGenerator(std::uint64_t n, double theta);
+
+  /// Draws one item; item 0 is the most popular.
+  [[nodiscard]] std::uint64_t sample(Rng& rng) const;
+
+  [[nodiscard]] std::uint64_t n() const { return n_; }
+  [[nodiscard]] double theta() const { return theta_; }
+
+ private:
+  std::uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double zeta2_;
+};
+
+}  // namespace netclone::kv

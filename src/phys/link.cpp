@@ -1,0 +1,74 @@
+#include "phys/link.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+#include "phys/node.hpp"
+
+namespace netclone::phys {
+
+Link::Link(sim::Simulator& simulator, LinkParams params)
+    : sim_(simulator), params_(params) {
+  NETCLONE_CHECK(params_.rate_bps > 0.0, "link rate must be positive");
+}
+
+void Link::connect_to(Node* dst, std::size_t dst_port) {
+  NETCLONE_CHECK(dst_ == nullptr, "link already connected");
+  dst_ = dst;
+  dst_port_ = dst_port;
+}
+
+SimTime Link::serialization_time(std::size_t bytes) const {
+  const double seconds =
+      static_cast<double>(bytes) * 8.0 / params_.rate_bps;
+  return SimTime::seconds(seconds);
+}
+
+void Link::transmit(wire::Frame frame) {
+  if (!up_ || dst_ == nullptr) {
+    ++stats_.dropped_frames;
+    return;
+  }
+  const SimTime now = sim_.now();
+  if (busy_until_ > now && queued_ >= params_.queue_capacity) {
+    ++stats_.dropped_frames;
+    return;
+  }
+  const SimTime start = busy_until_ > now ? busy_until_ : now;
+  const SimTime tx = serialization_time(frame.size());
+  busy_until_ = start + tx;
+  if (start > now) {
+    ++queued_;
+  }
+  ++stats_.tx_frames;
+  stats_.tx_bytes += frame.size();
+
+  const SimTime deliver_at = busy_until_ + params_.delay;
+  const std::uint64_t epoch = epoch_;
+  sim_.schedule_at(
+      deliver_at,
+      [this, epoch, started_queued = start > now,
+       payload = std::move(frame)]() mutable {
+        if (started_queued && queued_ > 0) {
+          --queued_;
+        }
+        if (!up_ || epoch != epoch_) {
+          return;  // link went down while the frame was in flight
+        }
+        dst_->handle_frame(dst_port_, std::move(payload));
+      });
+}
+
+void Link::set_up(bool up) {
+  if (up_ == up) {
+    return;
+  }
+  up_ = up;
+  if (!up) {
+    ++epoch_;
+    queued_ = 0;
+    busy_until_ = sim_.now();
+  }
+}
+
+}  // namespace netclone::phys

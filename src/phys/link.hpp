@@ -1,0 +1,71 @@
+// Unidirectional point-to-point link.
+//
+// Models the three delay components of a real cable + NIC path:
+//   * serialization: wire_bits / rate, back-to-back frames queue behind the
+//     transmitter ("busy until" tracking);
+//   * propagation + fixed PHY/NIC latency: `delay`;
+//   * a bounded egress queue: frames arriving while `capacity` frames are
+//     already waiting are dropped (drop-tail), as on a real ToR port.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/simulator.hpp"
+#include "wire/bytes.hpp"
+
+namespace netclone::phys {
+
+class Node;
+
+struct LinkParams {
+  /// Line rate in bits per second (default 100GbE).
+  double rate_bps = 100e9;
+  /// Propagation + fixed per-hop latency.
+  SimTime delay = SimTime::nanoseconds(850);
+  /// Egress queue capacity in packets (excluding the one in flight).
+  std::size_t queue_capacity = 1024;
+};
+
+struct LinkStats {
+  std::uint64_t tx_frames = 0;
+  std::uint64_t tx_bytes = 0;
+  std::uint64_t dropped_frames = 0;
+};
+
+class Link {
+ public:
+  Link(sim::Simulator& simulator, LinkParams params);
+
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  /// Wires the receive side. `dst_port` is the port index on `dst` at which
+  /// frames arrive.
+  void connect_to(Node* dst, std::size_t dst_port);
+
+  /// Enqueues a frame for transmission; may drop if the queue is full.
+  void transmit(wire::Frame frame);
+
+  /// Administratively disables the link; queued and in-flight frames are
+  /// lost (models pulling the cable / peer down).
+  void set_up(bool up);
+  [[nodiscard]] bool is_up() const { return up_; }
+
+  [[nodiscard]] const LinkStats& stats() const { return stats_; }
+  [[nodiscard]] const LinkParams& params() const { return params_; }
+
+ private:
+  [[nodiscard]] SimTime serialization_time(std::size_t bytes) const;
+
+  sim::Simulator& sim_;
+  LinkParams params_;
+  Node* dst_ = nullptr;
+  std::size_t dst_port_ = 0;
+  SimTime busy_until_ = SimTime::zero();
+  std::size_t queued_ = 0;
+  bool up_ = true;
+  std::uint64_t epoch_ = 0;  // bumped on set_up(false) to void in-flight frames
+  LinkStats stats_;
+};
+
+}  // namespace netclone::phys

@@ -1,0 +1,21 @@
+#include "phys/node.hpp"
+
+#include <utility>
+
+#include "phys/link.hpp"
+
+namespace netclone::phys {
+
+std::size_t Node::attach_egress(Link* link) {
+  egress_.push_back(link);
+  return egress_.size() - 1;
+}
+
+void Node::send(std::size_t port, wire::Frame frame) {
+  if (port >= egress_.size() || egress_[port] == nullptr) {
+    return;  // unplugged port: frame is lost
+  }
+  egress_[port]->transmit(std::move(frame));
+}
+
+}  // namespace netclone::phys

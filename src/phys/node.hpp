@@ -1,0 +1,44 @@
+// A node in the simulated topology: a host NIC endpoint or a switch.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "wire/bytes.hpp"
+
+namespace netclone::phys {
+
+class Link;
+
+class Node {
+ public:
+  explicit Node(std::string name) : name_(std::move(name)) {}
+  virtual ~Node() = default;
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  /// Called by a link when a frame arrives on `port`.
+  virtual void handle_frame(std::size_t port, wire::Frame frame) = 0;
+
+  /// Registers an egress link and returns the new port index. Called by
+  /// Topology while wiring; a node's ingress port i receives from the peer
+  /// wired at the same index.
+  std::size_t attach_egress(Link* link);
+
+  [[nodiscard]] std::size_t port_count() const { return egress_.size(); }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ protected:
+  /// Transmits a frame out of `port`. Silently counts (and drops) frames
+  /// sent on an unattached port — that models unplugged cables, not a bug.
+  void send(std::size_t port, wire::Frame frame);
+
+ private:
+  std::string name_;
+  std::vector<Link*> egress_;
+};
+
+}  // namespace netclone::phys

@@ -1,0 +1,19 @@
+#include "pisa/lpm_table.hpp"
+
+namespace netclone::pisa {
+
+void CounterArray::count(PipelinePass& pass, std::size_t index,
+                         std::size_t frame_bytes) {
+  pass.access_stateless(*this);
+  NETCLONE_CHECK(index < packets_.size(),
+                 "counter index out of range: " + name());
+  ++packets_[index];
+  bytes_[index] += frame_bytes;
+}
+
+void CounterArray::reset() {
+  std::fill(packets_.begin(), packets_.end(), 0);
+  std::fill(bytes_.begin(), bytes_.end(), 0);
+}
+
+}  // namespace netclone::pisa

@@ -1,0 +1,45 @@
+#include "pisa/pipeline.hpp"
+
+#include "pisa/resources.hpp"
+
+namespace netclone::pisa {
+
+void Pipeline::register_resource(StageResource* resource) {
+  NETCLONE_CHECK(resource->stage() < stage_count_,
+                 "resource '" + resource->name() +
+                     "' bound beyond the last pipeline stage");
+  resources_.push_back(resource);
+}
+
+void Pipeline::reset_soft_state() {
+  for (StageResource* r : resources_) {
+    if (r->is_soft_state()) {
+      r->reset();
+    }
+  }
+}
+
+void PipelinePass::access(StageResource& resource) {
+  NETCLONE_CHECK(resource.stage_ >= current_stage_,
+                 "stage-order violation: resource '" + resource.name_ +
+                     "' in stage " + std::to_string(resource.stage_) +
+                     " accessed after stage " +
+                     std::to_string(current_stage_));
+  NETCLONE_CHECK(resource.last_pass_id_ != id_,
+                 "double access to '" + resource.name_ +
+                     "' in one pipeline pass (one ALU op per register per "
+                     "packet — use a shadow copy)");
+  resource.last_pass_id_ = id_;
+  current_stage_ = resource.stage_;
+}
+
+void PipelinePass::access_stateless(StageResource& resource) {
+  NETCLONE_CHECK(resource.stage_ >= current_stage_,
+                 "stage-order violation: resource '" + resource.name_ +
+                     "' in stage " + std::to_string(resource.stage_) +
+                     " accessed after stage " +
+                     std::to_string(current_stage_));
+  current_stage_ = resource.stage_;
+}
+
+}  // namespace netclone::pisa

@@ -1,0 +1,89 @@
+// PISA pipeline model — the architectural skeleton of a Tofino-class ASIC.
+//
+// The constraints this model enforces are the ones that drive NetClone's
+// design (paper §2.3, §3.4):
+//
+//   1. Every table / register array is statically bound to ONE match-action
+//      stage at build time ("compile time" on hardware).
+//   2. A packet traverses stages strictly in order: once a pass has touched
+//      stage k, it can never access a resource in a stage < k.
+//   3. A stateful resource can be accessed AT MOST ONCE per pass (there is
+//      one ALU path per register per packet). Reading the server state
+//      table for two different servers is therefore impossible — exactly
+//      why the paper introduces the shadow table.
+//
+// Violations throw CheckFailure in all build modes: a program that violates
+// them would simply not compile for the ASIC, so no simulation result may
+// silently depend on such an access pattern.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace netclone::pisa {
+
+class StageResource;
+
+/// Tofino has 12 ingress match-action stages per pipeline.
+inline constexpr std::size_t kDefaultStageCount = 12;
+
+class Pipeline {
+ public:
+  explicit Pipeline(std::size_t stage_count = kDefaultStageCount)
+      : stage_count_(stage_count) {}
+
+  Pipeline(const Pipeline&) = delete;
+  Pipeline& operator=(const Pipeline&) = delete;
+
+  [[nodiscard]] std::size_t stage_count() const { return stage_count_; }
+
+  /// Called by StageResource's constructor.
+  void register_resource(StageResource* resource);
+
+  [[nodiscard]] const std::vector<StageResource*>& resources() const {
+    return resources_;
+  }
+
+  /// Clears all stateful (register) resources — what a switch reboot does
+  /// to soft state (§3.6 "Switch failures"). Match-action table entries are
+  /// control-plane state and survive (the controller re-installs them).
+  void reset_soft_state();
+
+  /// Monotonic pass-id source used to detect double access within a pass.
+  [[nodiscard]] std::uint64_t next_pass_id() { return ++pass_counter_; }
+
+ private:
+  std::size_t stage_count_;
+  std::vector<StageResource*> resources_;
+  std::uint64_t pass_counter_ = 0;
+};
+
+/// One packet's traversal of the pipeline. Create one per packet, pass it
+/// to every data-plane resource access.
+class PipelinePass {
+ public:
+  explicit PipelinePass(Pipeline& pipeline)
+      : pipeline_(pipeline), id_(pipeline.next_pass_id()) {}
+
+  [[nodiscard]] std::uint64_t id() const { return id_; }
+
+  /// Validates and records an access to `resource` in its bound stage.
+  /// Throws CheckFailure if the access goes backwards or repeats.
+  void access(StageResource& resource);
+
+  /// Stage-order check only, for stateless units (hash, random) that may
+  /// produce several values for one packet within their stage.
+  void access_stateless(StageResource& resource);
+
+  [[nodiscard]] std::size_t current_stage() const { return current_stage_; }
+
+ private:
+  Pipeline& pipeline_;
+  std::uint64_t id_;
+  std::size_t current_stage_ = 0;
+};
+
+}  // namespace netclone::pisa

@@ -1,0 +1,26 @@
+#include "pisa/resources.hpp"
+
+namespace netclone::pisa {
+
+StageResource::StageResource(Pipeline& pipeline, std::string name,
+                             std::size_t stage)
+    : name_(std::move(name)), stage_(stage) {
+  pipeline.register_resource(this);
+}
+
+void StageResource::record_access(PipelinePass& pass) { pass.access(*this); }
+
+std::uint32_t HashUnit::hash32(PipelinePass& pass, std::uint32_t value,
+                               std::uint32_t buckets) {
+  pass.access_stateless(*this);
+  NETCLONE_CHECK(buckets > 0, "hash modulus must be positive");
+  return crc32_u32(value) % buckets;
+}
+
+std::uint32_t RandomUnit::next_below(PipelinePass& pass,
+                                     std::uint32_t bound) {
+  pass.access_stateless(*this);
+  return static_cast<std::uint32_t>(rng_.next_below(bound));
+}
+
+}  // namespace netclone::pisa

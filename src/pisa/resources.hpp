@@ -1,0 +1,224 @@
+// Data-plane resources available to a PISA switch program.
+//
+//   * ExactMatchTable — SRAM exact-match table, populated by the control
+//     plane, looked up (once per pass) by the data plane.
+//   * RegisterArray / RegisterScalar — stateful memory updated at line rate
+//     through a single read-modify-write ALU operation per pass.
+//   * HashUnit — CRC hash computation (Tofino's hash engines).
+//   * RandomUnit — the ASIC's per-packet PRNG (used by RackSched's
+//     power-of-two-choices sampling).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "common/rng.hpp"
+#include "pisa/pipeline.hpp"
+
+namespace netclone::pisa {
+
+/// Base class: binds a named resource to a pipeline stage and tracks the
+/// last pass that touched it so double access can be detected.
+class StageResource {
+ public:
+  StageResource(Pipeline& pipeline, std::string name, std::size_t stage);
+  virtual ~StageResource() = default;
+
+  StageResource(const StageResource&) = delete;
+  StageResource& operator=(const StageResource&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::size_t stage() const { return stage_; }
+
+  /// SRAM footprint in bytes, for the resource auditor (§4.1).
+  [[nodiscard]] virtual std::size_t sram_bytes() const = 0;
+
+  /// Whether this is soft state wiped by a switch failure.
+  [[nodiscard]] virtual bool is_soft_state() const = 0;
+
+  /// Clears soft state (no-op for control-plane tables).
+  virtual void reset() = 0;
+
+ protected:
+  /// Every data-plane entry point must call this first.
+  void record_access(PipelinePass& pass);
+
+ private:
+  friend class PipelinePass;
+
+  std::string name_;
+  std::size_t stage_;
+  std::uint64_t last_pass_id_ = 0;
+};
+
+/// Exact-match match-action table. Keys are 64-bit (wider keys are hashed
+/// down by the caller); values are small action-data structs.
+template <typename Value>
+class ExactMatchTable final : public StageResource {
+ public:
+  ExactMatchTable(Pipeline& pipeline, std::string name, std::size_t stage,
+                  std::size_t capacity, std::size_t key_bytes,
+                  std::size_t value_bytes)
+      : StageResource(pipeline, std::move(name), stage),
+        capacity_(capacity),
+        key_bytes_(key_bytes),
+        value_bytes_(value_bytes) {}
+
+  // -- control plane (no pass required; models runtime entry updates) -----
+
+  void insert(std::uint64_t key, Value value) {
+    NETCLONE_CHECK(entries_.size() < capacity_ || entries_.contains(key),
+                   "table capacity exceeded: " + name());
+    entries_[key] = std::move(value);
+  }
+
+  void erase(std::uint64_t key) { entries_.erase(key); }
+  void clear_entries() { entries_.clear(); }
+  [[nodiscard]] std::size_t entry_count() const { return entries_.size(); }
+
+  // -- data plane ----------------------------------------------------------
+
+  /// Single lookup per pass; returns nullopt on miss.
+  [[nodiscard]] std::optional<Value> lookup(PipelinePass& pass,
+                                            std::uint64_t key) {
+    record_access(pass);
+    auto it = entries_.find(key);
+    if (it == entries_.end()) {
+      return std::nullopt;
+    }
+    return it->second;
+  }
+
+  [[nodiscard]] std::size_t sram_bytes() const override {
+    return capacity_ * (key_bytes_ + value_bytes_);
+  }
+  [[nodiscard]] bool is_soft_state() const override { return false; }
+  void reset() override {}  // control-plane state survives failures
+
+ private:
+  std::size_t capacity_;
+  std::size_t key_bytes_;
+  std::size_t value_bytes_;
+  std::unordered_map<std::uint64_t, Value> entries_;
+};
+
+/// Stateful register array. The only data-plane operation is `execute`,
+/// mirroring a Tofino RegisterAction: one indexed read-modify-write whose
+/// lambda body must be a simple ALU-expressible update.
+template <typename T>
+class RegisterArray final : public StageResource {
+ public:
+  RegisterArray(Pipeline& pipeline, std::string name, std::size_t stage,
+                std::size_t size, T initial = T{})
+      : StageResource(pipeline, std::move(name), stage),
+        initial_(initial),
+        cells_(size, initial) {}
+
+  /// Runs `action(cell)` on cells_[index]; whatever it returns flows back
+  /// to the packet (the RegisterAction "output"). Exactly one call per pass.
+  template <typename Action>
+  auto execute(PipelinePass& pass, std::size_t index, Action&& action) {
+    record_access(pass);
+    NETCLONE_CHECK(index < cells_.size(),
+                   "register index out of range: " + name());
+    return action(cells_[index]);
+  }
+
+  /// Convenience read-only RegisterAction.
+  [[nodiscard]] T read(PipelinePass& pass, std::size_t index) {
+    return execute(pass, index, [](T& cell) { return cell; });
+  }
+
+  /// Convenience write-only RegisterAction.
+  void write(PipelinePass& pass, std::size_t index, T value) {
+    execute(pass, index, [value](T& cell) {
+      cell = value;
+      return value;
+    });
+  }
+
+  /// Control-plane / test peek: NOT a data-plane access.
+  [[nodiscard]] T peek(std::size_t index) const { return cells_.at(index); }
+
+  [[nodiscard]] std::size_t size() const { return cells_.size(); }
+  [[nodiscard]] std::size_t sram_bytes() const override {
+    return cells_.size() * sizeof(T);
+  }
+  [[nodiscard]] bool is_soft_state() const override { return true; }
+  void reset() override {
+    std::fill(cells_.begin(), cells_.end(), initial_);
+  }
+
+ private:
+  T initial_;
+  std::vector<T> cells_;
+};
+
+/// A single stateful register (e.g. NetClone's global SEQ counter).
+template <typename T>
+class RegisterScalar final : public StageResource {
+ public:
+  RegisterScalar(Pipeline& pipeline, std::string name, std::size_t stage,
+                 T initial = T{})
+      : StageResource(pipeline, std::move(name), stage),
+        initial_(initial),
+        cell_(initial) {}
+
+  template <typename Action>
+  auto execute(PipelinePass& pass, Action&& action) {
+    record_access(pass);
+    return action(cell_);
+  }
+
+  [[nodiscard]] T peek() const { return cell_; }
+
+  [[nodiscard]] std::size_t sram_bytes() const override { return sizeof(T); }
+  [[nodiscard]] bool is_soft_state() const override { return true; }
+  void reset() override { cell_ = initial_; }
+
+ private:
+  T initial_;
+  T cell_;
+};
+
+/// CRC hash engine. Stateless, so it may be used any number of times per
+/// pass, but it still occupies a stage's hash-unit budget (audited).
+class HashUnit final : public StageResource {
+ public:
+  HashUnit(Pipeline& pipeline, std::string name, std::size_t stage)
+      : StageResource(pipeline, std::move(name), stage) {}
+
+  /// CRC32 of a 32-bit input reduced modulo `buckets`.
+  [[nodiscard]] std::uint32_t hash32(PipelinePass& pass, std::uint32_t value,
+                                     std::uint32_t buckets);
+
+  [[nodiscard]] std::size_t sram_bytes() const override { return 0; }
+  [[nodiscard]] bool is_soft_state() const override { return false; }
+  void reset() override {}
+};
+
+/// Per-packet hardware randomness.
+class RandomUnit final : public StageResource {
+ public:
+  RandomUnit(Pipeline& pipeline, std::string name, std::size_t stage,
+             std::uint64_t seed)
+      : StageResource(pipeline, std::move(name), stage), rng_(seed) {}
+
+  /// Uniform value in [0, bound).
+  [[nodiscard]] std::uint32_t next_below(PipelinePass& pass,
+                                         std::uint32_t bound);
+
+  [[nodiscard]] std::size_t sram_bytes() const override { return 0; }
+  [[nodiscard]] bool is_soft_state() const override { return false; }
+  void reset() override {}
+
+ private:
+  Rng rng_;
+};
+
+}  // namespace netclone::pisa

@@ -1,0 +1,132 @@
+#include "pisa/switch_device.hpp"
+
+#include <utility>
+
+#include "common/logging.hpp"
+
+namespace netclone::pisa {
+
+SwitchDevice::SwitchDevice(sim::Simulator& simulator, std::string name,
+                           SwitchParams params)
+    : phys::Node(std::move(name)),
+      sim_(simulator),
+      params_(params),
+      pipeline_(params.stage_count) {}
+
+void SwitchDevice::load_program(std::shared_ptr<SwitchProgram> program) {
+  program_ = std::move(program);
+}
+
+std::size_t SwitchDevice::add_internal_port() {
+  ++internal_ports_;
+  return attach_egress(nullptr);
+}
+
+void SwitchDevice::set_loopback_port(std::size_t port) {
+  loopback_ports_.insert(port);
+}
+
+void SwitchDevice::configure_multicast_group(std::uint16_t group,
+                                             std::vector<std::size_t> ports) {
+  mcast_groups_[group] = std::move(ports);
+}
+
+void SwitchDevice::fail() {
+  if (failed_) {
+    return;
+  }
+  failed_ = true;
+  // A reboot wipes all stateful (register) memory: server states, the SEQ
+  // counter, and filter-table fingerprints — the soft state of §3.6.
+  pipeline_.reset_soft_state();
+  log_info("switch '" + name() + "' failed at " + to_string(sim_.now()));
+}
+
+void SwitchDevice::recover() {
+  if (!failed_) {
+    return;
+  }
+  failed_ = false;
+  log_info("switch '" + name() + "' recovered at " + to_string(sim_.now()));
+}
+
+void SwitchDevice::handle_frame(std::size_t port, wire::Frame frame) {
+  process(port, std::move(frame), /*recirculated=*/false);
+}
+
+void SwitchDevice::process(std::size_t port, wire::Frame frame,
+                           bool recirculated) {
+  ++stats_.rx_frames;
+  if (failed_ || program_ == nullptr) {
+    ++stats_.dropped_while_failed;
+    return;
+  }
+
+  wire::Packet pkt;
+  try {
+    pkt = wire::Packet::parse(frame);
+  } catch (const wire::CodecError&) {
+    ++stats_.parse_errors;
+    return;
+  }
+
+  PacketMetadata md;
+  md.ingress_port = port;
+  md.is_recirculated = recirculated;
+
+  PipelinePass pass{pipeline_};
+  program_->on_ingress(pkt, md, pass);
+
+  if (md.drop) {
+    ++stats_.dropped_by_program;
+    return;
+  }
+
+  // Resolve output port set: PRE multicast group or unicast egress.
+  std::vector<std::size_t> out_ports;
+  if (md.multicast_group) {
+    auto it = mcast_groups_.find(*md.multicast_group);
+    if (it == mcast_groups_.end()) {
+      ++stats_.dropped_by_program;
+      return;
+    }
+    out_ports = it->second;
+    if (out_ports.size() > 1) {
+      stats_.multicast_copies += out_ports.size() - 1;
+    }
+  } else if (md.egress_port) {
+    out_ports.push_back(*md.egress_port);
+  } else {
+    ++stats_.dropped_by_program;  // program made no forwarding decision
+    return;
+  }
+
+  // The packet leaves the pipeline after the fixed traversal latency.
+  sim_.schedule_after(params_.pipeline_latency,
+                      [this, out_ports, pkt = std::move(pkt)]() {
+                        if (failed_) {
+                          ++stats_.dropped_while_failed;
+                          return;
+                        }
+                        for (const std::size_t p : out_ports) {
+                          emit(p, pkt);
+                        }
+                      });
+}
+
+void SwitchDevice::emit(std::size_t port, const wire::Packet& pkt) {
+  wire::Frame bytes = pkt.serialize();
+  if (loopback_ports_.contains(port)) {
+    ++stats_.recirculated;
+    sim_.schedule_after(
+        params_.recirculation_latency,
+        [this, port, bytes = std::move(bytes)]() mutable {
+          process(port, std::move(bytes), /*recirculated=*/true);
+        });
+    return;
+  }
+  ++stats_.tx_frames;
+  send(port, std::move(bytes));
+}
+
+}  // namespace netclone::pisa

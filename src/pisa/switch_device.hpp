@@ -1,0 +1,89 @@
+// The switch as a topology node: parser -> ingress pipeline -> deparser ->
+// packet replication (multicast) / recirculation / egress.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "phys/node.hpp"
+#include "pisa/pipeline.hpp"
+#include "pisa/program.hpp"
+#include "sim/simulator.hpp"
+
+namespace netclone::pisa {
+
+struct SwitchParams {
+  /// Fixed ingress-to-egress latency of one pipeline traversal. Tofino's
+  /// port-to-port latency is a few hundred nanoseconds.
+  SimTime pipeline_latency = SimTime::nanoseconds(400);
+  /// Extra latency for a recirculation loop (loopback port turnaround).
+  SimTime recirculation_latency = SimTime::nanoseconds(450);
+  std::size_t stage_count = kDefaultStageCount;
+};
+
+struct SwitchStats {
+  std::uint64_t rx_frames = 0;
+  std::uint64_t tx_frames = 0;
+  std::uint64_t dropped_by_program = 0;
+  std::uint64_t recirculated = 0;
+  std::uint64_t multicast_copies = 0;
+  std::uint64_t parse_errors = 0;
+  std::uint64_t dropped_while_failed = 0;
+};
+
+class SwitchDevice : public phys::Node {
+ public:
+  SwitchDevice(sim::Simulator& simulator, std::string name,
+               SwitchParams params = {});
+
+  /// Installs the ingress program. The program's resources must have been
+  /// built against pipeline().
+  void load_program(std::shared_ptr<SwitchProgram> program);
+
+  [[nodiscard]] Pipeline& pipeline() { return pipeline_; }
+  [[nodiscard]] const Pipeline& pipeline() const { return pipeline_; }
+
+  /// Marks a port as loopback: frames egressing there re-enter ingress
+  /// after the recirculation latency (§3.4 "Cloning in the switch").
+  void set_loopback_port(std::size_t port);
+
+  /// Adds a port that exists on the ASIC but is not cabled; used to create
+  /// the loopback port without a link.
+  std::size_t add_internal_port();
+
+  // -- packet replication engine (control plane) ---------------------------
+  void configure_multicast_group(std::uint16_t group,
+                                 std::vector<std::size_t> ports);
+
+  // -- failure injection (§5.6.4) ------------------------------------------
+  /// Takes the switch down: every frame is lost and all register (soft)
+  /// state is wiped, as on a reboot.
+  void fail();
+  /// Brings the switch back. Match-action entries survive (control-plane
+  /// state); registers restart zeroed.
+  void recover();
+  [[nodiscard]] bool failed() const { return failed_; }
+
+  [[nodiscard]] const SwitchStats& stats() const { return stats_; }
+
+  void handle_frame(std::size_t port, wire::Frame frame) override;
+
+ private:
+  void process(std::size_t port, wire::Frame frame, bool recirculated);
+  void emit(std::size_t port, const wire::Packet& pkt);
+
+  sim::Simulator& sim_;
+  SwitchParams params_;
+  Pipeline pipeline_;
+  std::shared_ptr<SwitchProgram> program_;
+  std::unordered_set<std::size_t> loopback_ports_;
+  std::unordered_map<std::uint16_t, std::vector<std::size_t>> mcast_groups_;
+  std::size_t internal_ports_ = 0;
+  bool failed_ = false;
+  SwitchStats stats_;
+};
+
+}  // namespace netclone::pisa

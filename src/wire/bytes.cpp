@@ -1,0 +1,96 @@
+#include "wire/bytes.hpp"
+
+#include <algorithm>
+
+namespace netclone::wire {
+
+void ByteWriter::u8(std::uint8_t v) {
+  out_.push_back(static_cast<std::byte>(v));
+}
+
+void ByteWriter::u16(std::uint16_t v) {
+  u8(static_cast<std::uint8_t>(v >> 8));
+  u8(static_cast<std::uint8_t>(v & 0xFFU));
+}
+
+void ByteWriter::u32(std::uint32_t v) {
+  u16(static_cast<std::uint16_t>(v >> 16));
+  u16(static_cast<std::uint16_t>(v & 0xFFFFU));
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  u32(static_cast<std::uint32_t>(v >> 32));
+  u32(static_cast<std::uint32_t>(v & 0xFFFFFFFFU));
+}
+
+void ByteWriter::i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+void ByteWriter::bytes(std::span<const std::byte> data) {
+  out_.insert(out_.end(), data.begin(), data.end());
+}
+
+void ByteWriter::zeros(std::size_t n) {
+  out_.insert(out_.end(), n, std::byte{0});
+}
+
+void ByteReader::require(std::size_t n) const {
+  if (remaining() < n) {
+    throw CodecError{"byte stream underrun"};
+  }
+}
+
+std::uint8_t ByteReader::u8() {
+  require(1);
+  return static_cast<std::uint8_t>(data_[offset_++]);
+}
+
+std::uint16_t ByteReader::u16() {
+  const auto hi = static_cast<std::uint16_t>(u8());
+  const auto lo = static_cast<std::uint16_t>(u8());
+  return static_cast<std::uint16_t>(hi << 8 | lo);
+}
+
+std::uint32_t ByteReader::u32() {
+  const auto hi = static_cast<std::uint32_t>(u16());
+  const auto lo = static_cast<std::uint32_t>(u16());
+  return hi << 16 | lo;
+}
+
+std::uint64_t ByteReader::u64() {
+  const auto hi = static_cast<std::uint64_t>(u32());
+  const auto lo = static_cast<std::uint64_t>(u32());
+  return hi << 32 | lo;
+}
+
+std::int64_t ByteReader::i64() { return static_cast<std::int64_t>(u64()); }
+
+void ByteReader::bytes(std::span<std::byte> out) {
+  require(out.size());
+  std::copy_n(data_.begin() + static_cast<std::ptrdiff_t>(offset_),
+              out.size(), out.begin());
+  offset_ += out.size();
+}
+
+void ByteReader::skip(std::size_t n) {
+  require(n);
+  offset_ += n;
+}
+
+void poke_u16(Frame& frame, std::size_t offset, std::uint16_t v) {
+  if (offset + 2 > frame.size()) {
+    throw CodecError{"poke_u16 out of range"};
+  }
+  frame[offset] = static_cast<std::byte>(v >> 8);
+  frame[offset + 1] = static_cast<std::byte>(v & 0xFFU);
+}
+
+std::uint16_t peek_u16(std::span<const std::byte> frame, std::size_t offset) {
+  if (offset + 2 > frame.size()) {
+    throw CodecError{"peek_u16 out of range"};
+  }
+  return static_cast<std::uint16_t>(
+      static_cast<std::uint16_t>(frame[offset]) << 8 |
+      static_cast<std::uint16_t>(frame[offset + 1]));
+}
+
+}  // namespace netclone::wire

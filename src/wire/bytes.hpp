@@ -1,0 +1,82 @@
+// Network-order (big-endian) byte stream codec.
+//
+// All headers in this repository serialize through these two classes, so
+// every multi-byte field goes on the wire in network order exactly once,
+// and parsing failures surface as explicit errors instead of silent reads
+// past the end of a buffer.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string_view>
+#include <vector>
+
+namespace netclone::wire {
+
+/// A frame is just owned bytes; the simulation moves these between nodes.
+using Frame = std::vector<std::byte>;
+
+/// Thrown when a reader runs out of bytes or a writer overflows a bound.
+class CodecError : public std::runtime_error {
+ public:
+  explicit CodecError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Appends big-endian values to a growing byte vector.
+class ByteWriter {
+ public:
+  explicit ByteWriter(Frame& out) : out_(out) {}
+
+  void u8(std::uint8_t v);
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v);
+  void bytes(std::span<const std::byte> data);
+  void zeros(std::size_t n);
+
+  [[nodiscard]] std::size_t written() const { return out_.size(); }
+
+ private:
+  Frame& out_;
+};
+
+/// Consumes big-endian values from a byte span; throws CodecError on
+/// underrun so truncated packets can never be half-parsed silently.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::byte> data) : data_(data) {}
+
+  [[nodiscard]] std::uint8_t u8();
+  [[nodiscard]] std::uint16_t u16();
+  [[nodiscard]] std::uint32_t u32();
+  [[nodiscard]] std::uint64_t u64();
+  [[nodiscard]] std::int64_t i64();
+  void bytes(std::span<std::byte> out);
+  void skip(std::size_t n);
+
+  [[nodiscard]] std::size_t remaining() const {
+    return data_.size() - offset_;
+  }
+  [[nodiscard]] std::size_t offset() const { return offset_; }
+  [[nodiscard]] std::span<const std::byte> rest() const {
+    return data_.subspan(offset_);
+  }
+
+ private:
+  void require(std::size_t n) const;
+
+  std::span<const std::byte> data_;
+  std::size_t offset_ = 0;
+};
+
+/// Writes a big-endian u16 at an absolute offset (checksum patching).
+void poke_u16(Frame& frame, std::size_t offset, std::uint16_t v);
+
+/// Reads a big-endian u16 at an absolute offset.
+[[nodiscard]] std::uint16_t peek_u16(std::span<const std::byte> frame,
+                                     std::size_t offset);
+
+}  // namespace netclone::wire

@@ -1,0 +1,53 @@
+#include "wire/ethernet.hpp"
+
+#include <cstdio>
+
+namespace netclone::wire {
+
+MacAddress MacAddress::from_node(std::uint32_t node_id) {
+  MacAddress mac;
+  mac.octets[0] = 0x02;  // locally administered, unicast
+  mac.octets[1] = 0x00;
+  mac.octets[2] = static_cast<std::uint8_t>(node_id >> 24);
+  mac.octets[3] = static_cast<std::uint8_t>(node_id >> 16);
+  mac.octets[4] = static_cast<std::uint8_t>(node_id >> 8);
+  mac.octets[5] = static_cast<std::uint8_t>(node_id);
+  return mac;
+}
+
+MacAddress MacAddress::broadcast() {
+  MacAddress mac;
+  mac.octets.fill(0xFF);
+  return mac;
+}
+
+std::string MacAddress::to_string() const {
+  char buf[18];
+  std::snprintf(buf, sizeof(buf), "%02x:%02x:%02x:%02x:%02x:%02x", octets[0],
+                octets[1], octets[2], octets[3], octets[4], octets[5]);
+  return buf;
+}
+
+void EthernetHeader::serialize(ByteWriter& w) const {
+  for (const std::uint8_t b : dst.octets) {
+    w.u8(b);
+  }
+  for (const std::uint8_t b : src.octets) {
+    w.u8(b);
+  }
+  w.u16(static_cast<std::uint16_t>(ether_type));
+}
+
+EthernetHeader EthernetHeader::parse(ByteReader& r) {
+  EthernetHeader h;
+  for (auto& b : h.dst.octets) {
+    b = r.u8();
+  }
+  for (auto& b : h.src.octets) {
+    b = r.u8();
+  }
+  h.ether_type = static_cast<EtherType>(r.u16());
+  return h;
+}
+
+}  // namespace netclone::wire

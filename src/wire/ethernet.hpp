@@ -1,0 +1,43 @@
+// Ethernet II framing.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "wire/bytes.hpp"
+
+namespace netclone::wire {
+
+struct MacAddress {
+  std::array<std::uint8_t, 6> octets{};
+
+  auto operator<=>(const MacAddress&) const = default;
+
+  /// Deterministic locally-administered address derived from a node id,
+  /// e.g. node 7 -> 02:00:00:00:00:07.
+  [[nodiscard]] static MacAddress from_node(std::uint32_t node_id);
+
+  [[nodiscard]] static MacAddress broadcast();
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+enum class EtherType : std::uint16_t {
+  kIpv4 = 0x0800,
+  kArp = 0x0806,
+};
+
+struct EthernetHeader {
+  static constexpr std::size_t kSize = 14;
+
+  MacAddress dst{};
+  MacAddress src{};
+  EtherType ether_type = EtherType::kIpv4;
+
+  void serialize(ByteWriter& w) const;
+  [[nodiscard]] static EthernetHeader parse(ByteReader& r);
+};
+
+}  // namespace netclone::wire

@@ -1,0 +1,53 @@
+// Whole-packet composition and parsing.
+//
+// A Packet is the parsed (struct) form of a frame: Ethernet + IPv4 + UDP +
+// optional NetClone header + opaque application payload. Hosts and the
+// switch model all work on Packet and serialize back to raw bytes at the
+// wire boundary — mirroring the parser/deparser split of a PISA pipeline.
+#pragma once
+
+#include <optional>
+
+#include "wire/bytes.hpp"
+#include "wire/ethernet.hpp"
+#include "wire/ipv4.hpp"
+#include "wire/netclone_header.hpp"
+#include "wire/udp.hpp"
+
+namespace netclone::wire {
+
+class Packet {
+ public:
+  EthernetHeader eth{};
+  Ipv4Header ip{};
+  UdpHeader udp{};
+  std::optional<NetCloneHeader> netclone{};
+  Frame payload{};
+
+  /// Parses a full frame. Throws CodecError on malformed input. The
+  /// NetClone header is parsed iff either UDP port equals kNetClonePort.
+  [[nodiscard]] static Packet parse(std::span<const std::byte> frame);
+
+  /// Serializes to wire bytes, recomputing every length and checksum
+  /// (IPv4 total_length + header checksum, UDP length + checksum).
+  [[nodiscard]] Frame serialize() const;
+
+  [[nodiscard]] bool has_netclone() const { return netclone.has_value(); }
+
+  /// Mutable access that fails loudly instead of dereferencing empty state.
+  [[nodiscard]] NetCloneHeader& nc();
+  [[nodiscard]] const NetCloneHeader& nc() const;
+
+  /// Total wire size in bytes once serialized.
+  [[nodiscard]] std::size_t wire_size() const;
+};
+
+/// Convenience builder for a NetClone UDP packet between two endpoints.
+[[nodiscard]] Packet make_netclone_packet(MacAddress src_mac,
+                                          MacAddress dst_mac, Ipv4Address src,
+                                          Ipv4Address dst,
+                                          std::uint16_t src_port,
+                                          const NetCloneHeader& nc,
+                                          Frame payload);
+
+}  // namespace netclone::wire

@@ -1,0 +1,83 @@
+// The NetClone header (paper §3.2, Figure 3).
+//
+// It sits between the UDP header and the application payload. The seven
+// fields of the paper (TYPE, REQ_ID, GRP, SID, STATE, CLO, IDX) are all
+// present; we additionally carry:
+//   * SWITCH_ID  — the multi-rack deployment field of §3.7 (zero until the
+//     client-side ToR stamps it; other ToRs then skip NetClone processing);
+//   * CLIENT_ID / CLIENT_SEQ — the Lamport-style request identity of §3.7
+//     ("Protocol support"), which lets clients match responses to requests
+//     and keeps retransmissions from receiving fresh switch request IDs.
+//
+// STATE carries the server's request-queue length. NetClone proper only
+// tests it against zero (empty queue == idle, §3.4); the RackSched
+// integration (§3.7) uses the full value as the load signal.
+#pragma once
+
+#include <cstdint>
+
+#include "wire/bytes.hpp"
+
+namespace netclone::wire {
+
+enum class MsgType : std::uint8_t {
+  kRequest = 1,
+  kResponse = 2,
+  /// A write request (§5.5): forwarded like a request but never cloned —
+  /// write coordination belongs to the replication protocol.
+  kWriteRequest = 3,
+  /// Client-side cancellation of an outstanding duplicate (§2.2: the
+  /// optional C-Clone cancel; the paper cites evidence it buys little —
+  /// bench_ablation_cancel measures that claim). Identified by
+  /// CLIENT_ID/CLIENT_SEQ; servers drop the matching queued request.
+  kCancel = 4,
+};
+
+/// CLO field values (§3.2).
+enum class CloneStatus : std::uint8_t {
+  kNotCloned = 0,       // request was not replicated
+  kClonedOriginal = 1,  // the original copy of a replicated request
+  kClonedCopy = 2,      // the switch-generated duplicate
+};
+
+struct NetCloneHeader {
+  static constexpr std::size_t kSize = 21;
+
+  MsgType type = MsgType::kRequest;
+  CloneStatus clo = CloneStatus::kNotCloned;
+  std::uint16_t grp = 0;        // candidate-server group id
+  std::uint32_t req_id = 0;     // switch-assigned sequence number
+  std::uint8_t sid = 0;         // server id (response sender / clone target)
+  std::uint16_t state = 0;      // piggybacked queue length (0 == idle)
+  std::uint8_t idx = 0;         // filter-table index (client-chosen)
+  std::uint8_t switch_id = 0;   // client-side ToR id, 0 == unstamped
+  std::uint16_t client_id = 0;  // issuing client
+  std::uint32_t client_seq = 0; // client-local sequence number
+  /// Multi-packet messages (§3.7): fragment ordinal and total count.
+  /// Single-packet messages — the paper's default regime — use 0 of 1.
+  std::uint8_t frag_idx = 0;
+  std::uint8_t frag_count = 1;
+
+  void serialize(ByteWriter& w) const;
+  [[nodiscard]] static NetCloneHeader parse(ByteReader& r);
+
+  [[nodiscard]] bool is_request() const {
+    return type == MsgType::kRequest || type == MsgType::kWriteRequest;
+  }
+  [[nodiscard]] bool is_cancel() const { return type == MsgType::kCancel; }
+  [[nodiscard]] bool is_write() const {
+    return type == MsgType::kWriteRequest;
+  }
+  [[nodiscard]] bool is_response() const {
+    return type == MsgType::kResponse;
+  }
+  [[nodiscard]] bool cloned() const {
+    return clo != CloneStatus::kNotCloned;
+  }
+  [[nodiscard]] bool multi_packet() const { return frag_count > 1; }
+  [[nodiscard]] bool last_fragment() const {
+    return frag_idx + 1 >= frag_count;
+  }
+};
+
+}  // namespace netclone::wire

@@ -1,0 +1,47 @@
+#include "wire/pcap.hpp"
+
+#include <stdexcept>
+
+namespace netclone::wire {
+
+PcapWriter::PcapWriter(const std::string& path) {
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) {
+    throw std::runtime_error{"cannot open pcap file: " + path};
+  }
+  // Global header, little-endian host order (magic tells readers the
+  // byte order), linktype 1 = Ethernet.
+  put_u32(0xA1B2C3D4U);  // magic (microsecond timestamps)
+  put_u16(2);            // version major
+  put_u16(4);            // version minor
+  put_u32(0);            // thiszone
+  put_u32(0);            // sigfigs
+  put_u32(65535);        // snaplen
+  put_u32(1);            // network: LINKTYPE_ETHERNET
+}
+
+PcapWriter::~PcapWriter() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+  }
+}
+
+void PcapWriter::put_u32(std::uint32_t v) {
+  std::fwrite(&v, sizeof(v), 1, file_);
+}
+
+void PcapWriter::put_u16(std::uint16_t v) {
+  std::fwrite(&v, sizeof(v), 1, file_);
+}
+
+void PcapWriter::write(SimTime timestamp, std::span<const std::byte> frame) {
+  const std::int64_t ns = timestamp.ns();
+  put_u32(static_cast<std::uint32_t>(ns / 1000000000));
+  put_u32(static_cast<std::uint32_t>((ns % 1000000000) / 1000));
+  put_u32(static_cast<std::uint32_t>(frame.size()));
+  put_u32(static_cast<std::uint32_t>(frame.size()));
+  std::fwrite(frame.data(), 1, frame.size(), file_);
+  ++frames_;
+}
+
+}  // namespace netclone::wire

@@ -1,0 +1,39 @@
+// Minimal pcap (libpcap classic format) writer.
+//
+// Lets examples and debugging sessions dump simulated traffic into a file
+// that Wireshark/tcpdump can open; the NetClone header then shows up as UDP
+// payload on port 9393.
+#pragma once
+
+#include <cstdio>
+#include <span>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace netclone::wire {
+
+class PcapWriter {
+ public:
+  /// Opens `path` and writes the global header. Throws std::runtime_error
+  /// on failure.
+  explicit PcapWriter(const std::string& path);
+  ~PcapWriter();
+
+  PcapWriter(const PcapWriter&) = delete;
+  PcapWriter& operator=(const PcapWriter&) = delete;
+
+  /// Appends one frame with the given simulated timestamp.
+  void write(SimTime timestamp, std::span<const std::byte> frame);
+
+  [[nodiscard]] std::uint64_t frames_written() const { return frames_; }
+
+ private:
+  void put_u32(std::uint32_t v);
+  void put_u16(std::uint16_t v);
+
+  std::FILE* file_ = nullptr;
+  std::uint64_t frames_ = 0;
+};
+
+}  // namespace netclone::wire

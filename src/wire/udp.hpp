@@ -1,0 +1,34 @@
+// UDP header. NetClone reserves a well-known destination port so the switch
+// parser can branch to the NetClone pipeline (§3.2).
+#pragma once
+
+#include <cstdint>
+
+#include "wire/bytes.hpp"
+#include "wire/ipv4.hpp"
+
+namespace netclone::wire {
+
+/// The reserved L4 port that marks a packet as carrying a NetClone header.
+inline constexpr std::uint16_t kNetClonePort = 9393;
+
+struct UdpHeader {
+  static constexpr std::size_t kSize = 8;
+
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint16_t length = 0;  // header + payload
+  std::uint16_t checksum = 0;
+
+  void serialize(ByteWriter& w) const;
+  [[nodiscard]] static UdpHeader parse(ByteReader& r);
+};
+
+/// Computes the UDP checksum over pseudo-header + UDP header + payload.
+/// `udp_segment` must start at the UDP header; its checksum field bytes are
+/// treated as zero by the caller writing them as zero before calling.
+[[nodiscard]] std::uint16_t udp_checksum(Ipv4Address src, Ipv4Address dst,
+                                         std::span<const std::byte>
+                                             udp_segment);
+
+}  // namespace netclone::wire

@@ -1,0 +1,128 @@
+// The Markov-modulated (bursty) arrival process: correct long-run mean,
+// visibly higher dispersion than Poisson, and the system-level effect —
+// bursts deepen queues, cloning masks part of the damage.
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hpp"
+#include "host/client.hpp"
+#include "host/service.hpp"
+#include "host/workload.hpp"
+#include "phys/topology.hpp"
+#include "test_util.hpp"
+
+namespace netclone::host {
+namespace {
+
+using netclone::testing::CaptureNode;
+
+/// Index of dispersion of counts over fixed bins; ~1 for Poisson, >> 1
+/// for bursty arrivals.
+double dispersion(const std::vector<std::uint64_t>& bins) {
+  double mean = 0.0;
+  for (const auto b : bins) {
+    mean += static_cast<double>(b);
+  }
+  mean /= static_cast<double>(bins.size());
+  double var = 0.0;
+  for (const auto b : bins) {
+    const double d = static_cast<double>(b) - mean;
+    var += d * d;
+  }
+  var /= static_cast<double>(bins.size());
+  return mean == 0.0 ? 0.0 : var / mean;
+}
+
+std::vector<std::uint64_t> bin_arrivals(ArrivalProcess process, double rate,
+                                        SimTime duration, SimTime bin) {
+  // Count arrivals per bin directly through the client's sent counter.
+  sim::Simulator sim;
+  phys::Topology topo{sim};
+  ClientParams p;
+  p.client_id = 0;
+  p.mode = SendMode::kViaSwitch;
+  p.target = service_vip();
+  p.rate_rps = rate;
+  p.arrival = process;
+  p.num_groups = 2;
+  p.stop_at = duration;
+  auto& client = topo.add_node<Client>(
+      sim, p, std::make_shared<FixedWorkload>(1.0), Rng{11});
+  auto& wire_end = topo.add_node<CaptureNode>("wire");
+  topo.connect(client, wire_end);
+  client.start();
+
+  std::vector<std::uint64_t> bins;
+  std::uint64_t last = 0;
+  for (SimTime t = bin; t <= duration; t += bin) {
+    sim.run_until(t);
+    const std::uint64_t now_total = client.stats().requests_sent;
+    bins.push_back(now_total - last);
+    last = now_total;
+  }
+  return bins;
+}
+
+TEST(BurstyArrivals, MeanRateIsPreserved) {
+  const double rate = 200000.0;
+  // The bursty process converges slowly: per-cycle arrival counts are
+  // roughly exponential (variance ~ mean^2) and strongly autocorrelated
+  // through the carry construction, so it takes thousands of ON/OFF
+  // cycles for the empirical rate to settle.
+  const SimTime duration = SimTime::seconds(4);
+  const auto poisson =
+      bin_arrivals(ArrivalProcess::kPoisson, rate, duration,
+                   SimTime::milliseconds(4));
+  const auto bursty =
+      bin_arrivals(ArrivalProcess::kBursty, rate, duration,
+                   SimTime::milliseconds(4));
+  std::uint64_t total_poisson = 0;
+  std::uint64_t total_bursty = 0;
+  for (std::size_t i = 0; i < poisson.size(); ++i) {
+    total_poisson += poisson[i];
+    total_bursty += bursty[i];
+  }
+  const double expected = rate * duration.sec();
+  EXPECT_NEAR(static_cast<double>(total_poisson), expected,
+              expected * 0.02);
+  EXPECT_NEAR(static_cast<double>(total_bursty), expected,
+              expected * 0.08);
+}
+
+TEST(BurstyArrivals, DispersionFarAbovePoisson) {
+  const double rate = 200000.0;
+  const SimTime duration = SimTime::milliseconds(50);
+  const auto poisson_bins =
+      bin_arrivals(ArrivalProcess::kPoisson, rate, duration,
+                   SimTime::microseconds(100.0));
+  const auto bursty_bins =
+      bin_arrivals(ArrivalProcess::kBursty, rate, duration,
+                   SimTime::microseconds(100.0));
+  const double d_poisson = dispersion(poisson_bins);
+  const double d_bursty = dispersion(bursty_bins);
+  EXPECT_LT(d_poisson, 2.0);   // ~1 in theory
+  EXPECT_GT(d_bursty, 3.0 * d_poisson);
+}
+
+TEST(BurstyArrivals, SystemStillConservesRequests) {
+  harness::ClusterConfig cfg;
+  cfg.scheme = harness::Scheme::kNetClone;
+  cfg.server_workers = {8, 8, 8, 8};
+  cfg.factory = std::make_shared<ExponentialWorkload>(25.0);
+  cfg.service = std::make_shared<SyntheticService>(JitterModel{0.01, 15});
+  cfg.client_template.arrival = ArrivalProcess::kBursty;
+  cfg.warmup = SimTime::milliseconds(2);
+  cfg.measure = SimTime::milliseconds(10);
+  cfg.offered_rps =
+      0.3 * harness::cluster_capacity_rps(cfg.server_workers, 25.0 * 1.14);
+  harness::Experiment experiment{cfg};
+  const auto result = experiment.run();
+  std::uint64_t completed = 0;
+  for (const Client* client : experiment.clients()) {
+    completed += client->stats().completed;
+  }
+  EXPECT_EQ(completed, result.requests_sent);
+  EXPECT_GT(result.cloned_requests, 0U);
+}
+
+}  // namespace
+}  // namespace netclone::host

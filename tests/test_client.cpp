@@ -1,0 +1,208 @@
+#include "host/client.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "phys/topology.hpp"
+#include "test_util.hpp"
+
+namespace netclone::host {
+namespace {
+
+using namespace netclone::literals;
+using netclone::testing::CaptureNode;
+
+ClientParams base_params(SendMode mode, double rate_rps = 100000.0) {
+  ClientParams p;
+  p.client_id = 0;
+  p.mode = mode;
+  p.rate_rps = rate_rps;
+  p.num_groups = 30;
+  p.num_filter_tables = 2;
+  p.target = service_vip();
+  for (std::uint8_t i = 0; i < 6; ++i) {
+    p.server_ips.push_back(server_ip(ServerId{i}));
+  }
+  p.stop_at = SimTime::milliseconds(2);
+  return p;
+}
+
+struct Rig {
+  sim::Simulator sim;
+  phys::Topology topo{sim};
+  Client* client = nullptr;
+  CaptureNode* wire_end = nullptr;
+
+  explicit Rig(const ClientParams& params) {
+    client = &topo.add_node<Client>(
+        sim, params, std::make_shared<FixedWorkload>(25.0), Rng{7});
+    wire_end = &topo.add_node<CaptureNode>("wire");
+    topo.connect(*client, *wire_end);
+  }
+};
+
+TEST(Client, ViaSwitchSendsOnePacketPerRequest) {
+  Rig rig{base_params(SendMode::kViaSwitch)};
+  rig.client->start();
+  rig.sim.run();
+  const auto& stats = rig.client->stats();
+  EXPECT_GT(stats.requests_sent, 100U);
+  EXPECT_EQ(stats.packets_sent, stats.requests_sent);
+  for (const auto& pkt : rig.wire_end->packets()) {
+    EXPECT_EQ(pkt.ip.dst, service_vip());
+    EXPECT_EQ(pkt.nc().clo, wire::CloneStatus::kNotCloned);
+    EXPECT_EQ(pkt.nc().req_id, 0U);  // assigned by the switch, not us
+    EXPECT_LT(pkt.nc().grp, 30);
+    EXPECT_LT(pkt.nc().idx, 2);
+  }
+}
+
+TEST(Client, OpenLoopRateIsApproximatelyHonoured) {
+  Rig rig{base_params(SendMode::kViaSwitch, 500000.0)};
+  rig.client->start();
+  rig.sim.run();
+  // 500 KRPS for 2 ms ~ 1000 requests.
+  EXPECT_NEAR(static_cast<double>(rig.client->stats().requests_sent),
+              1000.0, 150.0);
+}
+
+TEST(Client, DirectRandomSpreadsOverServers) {
+  Rig rig{base_params(SendMode::kDirectRandom)};
+  rig.client->start();
+  rig.sim.run();
+  std::set<std::uint32_t> dsts;
+  for (const auto& pkt : rig.wire_end->packets()) {
+    dsts.insert(pkt.ip.dst.value);
+  }
+  EXPECT_EQ(dsts.size(), 6U);  // all six workers hit
+}
+
+TEST(Client, CCloneSendsTwoPacketsToDistinctServers) {
+  Rig rig{base_params(SendMode::kCClone)};
+  rig.client->start();
+  rig.sim.run();
+  const auto& stats = rig.client->stats();
+  EXPECT_EQ(stats.packets_sent, 2 * stats.requests_sent);
+  const auto pkts = rig.wire_end->packets();
+  ASSERT_GE(pkts.size(), 2U);
+  for (std::size_t i = 0; i + 1 < pkts.size(); i += 2) {
+    EXPECT_EQ(pkts[i].nc().client_seq, pkts[i + 1].nc().client_seq);
+    EXPECT_NE(pkts[i].ip.dst, pkts[i + 1].ip.dst);  // distinct servers
+  }
+}
+
+TEST(Client, RecordsLatencyOnFirstResponseOnly) {
+  ClientParams p = base_params(SendMode::kViaSwitch, 100000.0);
+  p.stop_at = SimTime::microseconds(100);  // a handful of requests
+  Rig rig{p};
+  rig.client->start();
+  rig.sim.run();
+  ASSERT_GE(rig.client->stats().requests_sent, 1U);
+  const auto pkts = rig.wire_end->packets();
+  ASSERT_GE(pkts.size(), 1U);
+
+  // Reflect the first request twice (duplicate responses).
+  wire::Packet resp =
+      netclone::testing::make_response(ServerId{2}, 0, pkts[0]);
+  resp.nc().clo = wire::CloneStatus::kClonedOriginal;
+  rig.wire_end->transmit(0, resp.serialize());
+  rig.wire_end->transmit(0, resp.serialize());
+  rig.sim.run();
+
+  const auto& stats = rig.client->stats();
+  EXPECT_EQ(stats.completed, 1U);
+  EXPECT_EQ(stats.redundant_responses, 1U);
+  EXPECT_EQ(stats.latency.count(), 1U);
+  EXPECT_GT(stats.latency.max().ns(), 0);
+}
+
+TEST(Client, UnmatchedResponsesAreCounted) {
+  Rig rig{base_params(SendMode::kViaSwitch, 1000.0)};
+  rig.client->start();
+  wire::Packet bogus = netclone::testing::make_response(
+      ServerId{0}, 0, netclone::testing::make_request(0, 999999, 0, 0));
+  rig.wire_end->transmit(0, bogus.serialize());
+  rig.sim.run();
+  EXPECT_EQ(rig.client->stats().unmatched_responses, 1U);
+  EXPECT_EQ(rig.client->stats().completed, 0U);
+}
+
+TEST(Client, WarmupSamplesExcludedFromHistogram) {
+  ClientParams p = base_params(SendMode::kViaSwitch, 100000.0);
+  p.warmup_until = SimTime::milliseconds(1);
+  Rig rig{p};
+  rig.client->start();
+  rig.sim.run();
+  // Echo every request back.
+  for (const auto& pkt : rig.wire_end->packets()) {
+    rig.wire_end->transmit(
+        0, netclone::testing::make_response(ServerId{0}, 0, pkt)
+               .serialize());
+  }
+  rig.sim.run();
+  const auto& stats = rig.client->stats();
+  EXPECT_GT(stats.completed, 0U);
+  // Roughly half the requests were sent before the warmup cutoff.
+  EXPECT_LT(stats.latency.count(), stats.completed);
+  EXPECT_NEAR(static_cast<double>(stats.latency.count()),
+              static_cast<double>(stats.completed) / 2.0,
+              static_cast<double>(stats.completed) * 0.2);
+}
+
+TEST(Client, StopsSendingAtStopTime) {
+  ClientParams p = base_params(SendMode::kViaSwitch, 1000000.0);
+  p.stop_at = SimTime::microseconds(500);
+  Rig rig{p};
+  rig.client->start();
+  rig.sim.run();
+  EXPECT_LE(rig.sim.now(), SimTime::microseconds(600));
+  // ~500 requests at 1M RPS in 500 us.
+  EXPECT_NEAR(static_cast<double>(rig.client->stats().requests_sent), 500.0,
+              120.0);
+}
+
+TEST(Client, SequencesAreUniqueAndDense) {
+  Rig rig{base_params(SendMode::kViaSwitch, 200000.0)};
+  rig.client->start();
+  rig.sim.run();
+  std::set<std::uint32_t> seqs;
+  for (const auto& pkt : rig.wire_end->packets()) {
+    EXPECT_TRUE(seqs.insert(pkt.nc().client_seq).second);
+  }
+  EXPECT_EQ(seqs.size(), rig.client->stats().requests_sent);
+}
+
+TEST(Client, ClientIdStampedOnAllPackets) {
+  ClientParams p = base_params(SendMode::kViaSwitch);
+  p.client_id = 5;
+  sim::Simulator sim;
+  phys::Topology topo{sim};
+  auto& client = topo.add_node<Client>(
+      sim, p, std::make_shared<FixedWorkload>(25.0), Rng{7});
+  auto& wire_end = topo.add_node<CaptureNode>("wire");
+  topo.connect(client, wire_end);
+  client.start();
+  sim.run();
+  for (const auto& pkt : wire_end.packets()) {
+    EXPECT_EQ(pkt.nc().client_id, 5);
+    EXPECT_EQ(pkt.ip.src, client_ip(5));
+  }
+}
+
+TEST(Client, RejectsBadConfigs) {
+  sim::Simulator sim;
+  ClientParams p = base_params(SendMode::kCClone);
+  p.server_ips.resize(1);
+  EXPECT_THROW((void)
+      Client(sim, p, std::make_shared<FixedWorkload>(1.0), Rng{1}),
+      CheckFailure);
+  ClientParams p2 = base_params(SendMode::kViaSwitch);
+  p2.rate_rps = 0.0;
+  EXPECT_THROW((void)
+      Client(sim, p2, std::make_shared<FixedWorkload>(1.0), Rng{1}),
+      CheckFailure);
+}
+
+}  // namespace
+}  // namespace netclone::host

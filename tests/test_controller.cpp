@@ -1,0 +1,106 @@
+#include "core/controller.hpp"
+
+#include <gtest/gtest.h>
+
+#include "host/addressing.hpp"
+#include "test_util.hpp"
+
+namespace netclone::core {
+namespace {
+
+using netclone::testing::make_request;
+using netclone::testing::run_ingress;
+
+class ControllerTest : public ::testing::Test {
+ protected:
+  ControllerTest()
+      : device_(sim_, "tor"),
+        program_(device_.pipeline(), NetCloneConfig{}),
+        loopback_(device_.add_internal_port()),
+        controller_(program_, device_, loopback_) {
+    device_.set_loopback_port(loopback_);
+    device_.load_program(
+        std::shared_ptr<NetCloneProgram>(&program_, [](auto*) {}));
+  }
+
+  void add_n_servers(std::uint8_t n) {
+    for (std::uint8_t i = 0; i < n; ++i) {
+      controller_.add_server(ServerId{i}, host::server_ip(ServerId{i}),
+                             10 + i);
+    }
+  }
+
+  sim::Simulator sim_;
+  pisa::SwitchDevice device_;
+  NetCloneProgram program_;
+  std::size_t loopback_;
+  Controller controller_;
+};
+
+TEST_F(ControllerTest, GroupsTrackServerAdds) {
+  EXPECT_EQ(controller_.group_count(), 0);
+  add_n_servers(2);
+  EXPECT_EQ(controller_.group_count(), 2);
+  controller_.add_server(ServerId{2}, host::server_ip(ServerId{2}), 12);
+  EXPECT_EQ(controller_.group_count(), 6);
+  add_n_servers(0);
+  EXPECT_EQ(controller_.live_servers().size(), 3U);
+}
+
+TEST_F(ControllerTest, McastGroupsAreDistinct) {
+  const std::uint16_t a =
+      controller_.add_server(ServerId{0}, host::server_ip(ServerId{0}), 10);
+  const std::uint16_t b =
+      controller_.add_server(ServerId{1}, host::server_ip(ServerId{1}), 11);
+  EXPECT_NE(a, b);
+}
+
+TEST_F(ControllerTest, DuplicateAddRejected) {
+  add_n_servers(1);
+  EXPECT_THROW(controller_.add_server(ServerId{0},
+                                      host::server_ip(ServerId{0}), 10),
+               CheckFailure);
+}
+
+TEST_F(ControllerTest, RemoveReinstallsGroupsOverSurvivors) {
+  add_n_servers(4);  // 12 groups
+  EXPECT_EQ(controller_.group_count(), 12);
+  controller_.remove_server(ServerId{2});
+  EXPECT_EQ(controller_.group_count(), 6);
+  EXPECT_FALSE(controller_.is_live(ServerId{2}));
+  for (const GroupPair& g : controller_.groups()) {
+    EXPECT_NE(g.srv1, 2);
+    EXPECT_NE(g.srv2, 2);
+  }
+}
+
+TEST_F(ControllerTest, RemoveUnknownOrBelowRedundancyRejected) {
+  add_n_servers(2);
+  EXPECT_THROW(controller_.remove_server(ServerId{7}), CheckFailure);
+  // Two live servers: dropping to one would break NetClone's invariant.
+  EXPECT_THROW(controller_.remove_server(ServerId{0}), CheckFailure);
+}
+
+TEST_F(ControllerTest, RequestsToSurvivorGroupsStillClone) {
+  add_n_servers(3);
+  controller_.remove_server(ServerId{1});
+  // Surviving groups only reference servers 0 and 2.
+  wire::Packet pkt = make_request(0, 1, /*grp=*/0, 0);
+  const auto md = run_ingress(program_, device_.pipeline(), pkt);
+  EXPECT_FALSE(md.drop);
+  EXPECT_TRUE(md.multicast_group.has_value());
+  const auto& groups = controller_.groups();
+  ASSERT_EQ(groups.size(), 2U);
+  EXPECT_EQ(pkt.nc().sid, groups[0].srv2);
+}
+
+TEST_F(ControllerTest, OldGroupIdsBeyondNewCountDrop) {
+  add_n_servers(3);  // 6 groups installed
+  controller_.remove_server(ServerId{0});  // now 2 groups
+  wire::Packet pkt = make_request(0, 1, /*grp=*/5, 0);  // stale group id
+  const auto md = run_ingress(program_, device_.pipeline(), pkt);
+  EXPECT_TRUE(md.drop);  // clients must be told the new group count
+}
+
+}  // namespace
+}  // namespace netclone::core

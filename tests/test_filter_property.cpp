@@ -1,0 +1,156 @@
+// Property-based tests of the response-filtering invariants (§3.5, DESIGN.md
+// invariants 2 and 3): under randomized interleavings of cloned-response
+// pairs, with collisions and losses injected,
+//   (a) the FIRST response of every request is NEVER dropped;
+//   (b) a dropped response is always the second of its pair;
+//   (c) losing slower responses never permanently wedges a slot.
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/netclone_program.hpp"
+#include "host/addressing.hpp"
+#include "test_util.hpp"
+
+namespace netclone::core {
+namespace {
+
+using netclone::testing::make_request;
+using netclone::testing::make_response;
+using netclone::testing::run_ingress;
+
+struct FilterPropertyParams {
+  std::uint64_t seed;
+  std::size_t filter_slots;
+  std::size_t num_tables;
+  double loss_probability;  // chance the slower response never arrives
+};
+
+class FilterProperty
+    : public ::testing::TestWithParam<FilterPropertyParams> {};
+
+TEST_P(FilterProperty, FasterResponseNeverDropped) {
+  const FilterPropertyParams param = GetParam();
+  pisa::Pipeline pipeline;
+  NetCloneConfig cfg;
+  cfg.filter_slots = param.filter_slots;
+  cfg.num_filter_tables = param.num_tables;
+  NetCloneProgram program{pipeline, cfg};
+  program.add_server(ServerId{0}, host::server_ip(ServerId{0}), 1, 1);
+  program.add_server(ServerId{1}, host::server_ip(ServerId{1}), 2, 2);
+  program.install_groups(build_group_pairs(2));
+  program.add_route(host::client_ip(0), 9);
+
+  Rng rng{param.seed};
+
+  struct PendingSlower {
+    wire::Packet pkt;
+  };
+  std::deque<PendingSlower> backlog;
+  std::uint64_t first_drops = 0;
+  std::uint64_t second_drops = 0;
+  std::uint64_t second_passes = 0;
+
+  std::uint32_t next_id = 1;
+  for (int step = 0; step < 4000; ++step) {
+    const bool emit_new = backlog.empty() || rng.bernoulli(0.55);
+    if (emit_new) {
+      // A new cloned request completes: its faster response arrives now.
+      wire::Packet req = make_request(
+          0, next_id, 0,
+          static_cast<std::uint8_t>(rng.next_below(param.num_tables)));
+      req.nc().clo = wire::CloneStatus::kClonedOriginal;
+      req.nc().req_id = next_id++;
+      wire::Packet faster = make_response(ServerId{0}, 0, req);
+      const auto md = run_ingress(program, pipeline, faster);
+      if (md.drop) {
+        ++first_drops;
+      }
+      // The slower response may be lost in the network.
+      if (!rng.bernoulli(param.loss_probability)) {
+        wire::Packet slower = make_response(ServerId{1}, 0, req);
+        slower.nc().clo = wire::CloneStatus::kClonedCopy;
+        backlog.push_back(PendingSlower{std::move(slower)});
+      }
+    } else {
+      // Deliver a random outstanding slower response (reordering).
+      const std::size_t pick =
+          static_cast<std::size_t>(rng.next_below(backlog.size()));
+      wire::Packet slower = std::move(backlog[pick].pkt);
+      backlog.erase(backlog.begin() + static_cast<std::ptrdiff_t>(pick));
+      const auto md = run_ingress(program, pipeline, slower);
+      if (md.drop) {
+        ++second_drops;
+      } else {
+        ++second_passes;
+      }
+    }
+  }
+
+  // (a) No faster response was ever dropped, regardless of collisions.
+  EXPECT_EQ(first_drops, 0U);
+  // (b) Drops happened (the filter works)...
+  EXPECT_GT(second_drops, 0U);
+  // ...and every drop was a slower duplicate by construction; forwarded
+  // duplicates (overwritten fingerprints) are allowed and counted.
+  EXPECT_EQ(program.stats().filtered_responses, second_drops);
+  // (c) No slot can wedge: the switch keeps storing fresh fingerprints.
+  EXPECT_GT(program.stats().fingerprints_stored, 0U);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Interleavings, FilterProperty,
+    ::testing::Values(
+        // Large tables, no loss: the common case, expect near-perfect
+        // filtering.
+        FilterPropertyParams{1, 1 << 10, 2, 0.0},
+        FilterPropertyParams{2, 1 << 10, 2, 0.0},
+        // Tiny tables: heavy collisions, overwrites must keep (a) true.
+        FilterPropertyParams{3, 8, 2, 0.0},
+        FilterPropertyParams{4, 4, 1, 0.0},
+        FilterPropertyParams{5, 2, 1, 0.0},
+        // Packet loss: orphaned fingerprints must be overwritten, not
+        // wedge the table.
+        FilterPropertyParams{6, 64, 2, 0.2},
+        FilterPropertyParams{7, 8, 2, 0.5},
+        FilterPropertyParams{8, 1 << 10, 4, 0.05},
+        FilterPropertyParams{9, 1, 1, 0.3},  // single-slot worst case
+        FilterPropertyParams{10, 16, 8, 0.1}),
+    [](const ::testing::TestParamInfo<FilterPropertyParams>& param_info) {
+      return "seed" + std::to_string(param_info.param.seed) + "_slots" +
+             std::to_string(param_info.param.filter_slots) + "_tables" +
+             std::to_string(param_info.param.num_tables) + "_loss" +
+             std::to_string(
+                 static_cast<int>(param_info.param.loss_probability * 100));
+    });
+
+TEST(FilterEffectiveness, LargeTablesFilterNearlyAllDuplicates) {
+  // With 2^17 slots and microsecond-scale reuse, the paper argues failures
+  // are rare. Sequential ids + immediate pair delivery: zero failures.
+  pisa::Pipeline pipeline;
+  NetCloneConfig cfg;  // default: 2 x 2^17 slots
+  NetCloneProgram program{pipeline, cfg};
+  program.add_server(ServerId{0}, host::server_ip(ServerId{0}), 1, 1);
+  program.add_server(ServerId{1}, host::server_ip(ServerId{1}), 2, 2);
+  program.install_groups(build_group_pairs(2));
+  program.add_route(host::client_ip(0), 9);
+
+  Rng rng{77};
+  for (std::uint32_t id = 1; id <= 5000; ++id) {
+    wire::Packet req = make_request(
+        0, id, 0, static_cast<std::uint8_t>(rng.next_below(2)));
+    req.nc().clo = wire::CloneStatus::kClonedOriginal;
+    req.nc().req_id = id;
+    wire::Packet faster = make_response(ServerId{0}, 0, req);
+    wire::Packet slower = make_response(ServerId{1}, 0, req);
+    EXPECT_FALSE(run_ingress(program, pipeline, faster).drop);
+    EXPECT_TRUE(run_ingress(program, pipeline, slower).drop);
+  }
+  EXPECT_EQ(program.stats().filtered_responses, 5000U);
+}
+
+}  // namespace
+}  // namespace netclone::core

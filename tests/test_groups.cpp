@@ -1,0 +1,81 @@
+#include "core/groups.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/check.hpp"
+
+namespace netclone::core {
+namespace {
+
+TEST(Groups, CountIsTwiceChooseTwo) {
+  EXPECT_EQ(group_count(2), 2U);
+  EXPECT_EQ(group_count(6), 30U);
+  EXPECT_EQ(group_count(10), 90U);
+  EXPECT_EQ(build_group_pairs(6).size(), group_count(6));
+}
+
+TEST(Groups, TwoServersGiveBothOrders) {
+  const auto groups = build_group_pairs(2);
+  ASSERT_EQ(groups.size(), 2U);
+  EXPECT_EQ(groups[0], (GroupPair{0, 1}));
+  EXPECT_EQ(groups[1], (GroupPair{1, 0}));
+}
+
+TEST(Groups, AllOrderedPairsDistinctAndValid) {
+  constexpr std::size_t kN = 8;
+  const auto groups = build_group_pairs(kN);
+  std::set<std::pair<int, int>> seen;
+  for (const GroupPair& g : groups) {
+    EXPECT_NE(g.srv1, g.srv2);  // never pair a server with itself
+    EXPECT_LT(g.srv1, kN);
+    EXPECT_LT(g.srv2, kN);
+    EXPECT_TRUE(seen.emplace(g.srv1, g.srv2).second) << "duplicate pair";
+  }
+  EXPECT_EQ(seen.size(), kN * (kN - 1));
+}
+
+TEST(Groups, FirstPositionIsBalanced) {
+  // Every server appears as srv1 exactly (n-1) times, so non-cloned
+  // requests (always routed to srv1) spread uniformly.
+  constexpr std::size_t kN = 6;
+  const auto groups = build_group_pairs(kN);
+  std::array<int, kN> first_count{};
+  for (const GroupPair& g : groups) {
+    ++first_count[g.srv1];
+  }
+  for (const int c : first_count) {
+    EXPECT_EQ(c, kN - 1);
+  }
+}
+
+TEST(Groups, RejectsDegenerateInputs) {
+  EXPECT_THROW((void)build_group_pairs(0), CheckFailure);
+  EXPECT_THROW((void)build_group_pairs(1), CheckFailure);
+  EXPECT_THROW((void)build_group_pairs(257), CheckFailure);
+  EXPECT_NO_THROW(build_group_pairs(2));
+}
+
+// Sweep: invariants hold for every cluster size the testbed uses.
+class GroupSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GroupSweep, SizeAndSymmetry) {
+  const std::size_t n = GetParam();
+  const auto groups = build_group_pairs(n);
+  EXPECT_EQ(groups.size(), n * (n - 1));
+  // For each pair (i, j) the reversed pair is installed too.
+  std::set<std::pair<int, int>> seen;
+  for (const GroupPair& g : groups) {
+    seen.emplace(g.srv1, g.srv2);
+  }
+  for (const GroupPair& g : groups) {
+    EXPECT_TRUE(seen.contains({g.srv2, g.srv1}));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ClusterSizes, GroupSweep,
+                         ::testing::Values(2, 3, 4, 5, 6, 8, 16, 64));
+
+}  // namespace
+}  // namespace netclone::core

@@ -1,0 +1,94 @@
+// Cross-seed, cross-load property sweep of the end-to-end invariants in
+// DESIGN.md §5: whatever the randomness, a NetClone cluster must conserve
+// requests, account for every clone, and never leak unfiltered duplicates
+// beyond the collision rate.
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hpp"
+#include "host/service.hpp"
+#include "host/workload.hpp"
+
+namespace netclone::harness {
+namespace {
+
+struct SweepCase {
+  std::uint64_t seed;
+  double load;
+};
+
+class InvariantSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(InvariantSweep, NetCloneAccountingHolds) {
+  const SweepCase param = GetParam();
+  ClusterConfig cfg;
+  cfg.scheme = Scheme::kNetClone;
+  cfg.server_workers = {8, 8, 8, 8};
+  cfg.factory = std::make_shared<host::ExponentialWorkload>(25.0);
+  cfg.service = std::make_shared<host::SyntheticService>(
+      host::JitterModel{0.01, 15.0, 0.08});
+  cfg.warmup = SimTime::milliseconds(2);
+  cfg.measure = SimTime::milliseconds(8);
+  cfg.seed = param.seed;
+  cfg.offered_rps =
+      param.load * cluster_capacity_rps(cfg.server_workers, 25.0 * 1.14);
+
+  Experiment experiment{cfg};
+  const ExperimentResult result = experiment.run();
+  const auto& prog = experiment.netclone_program()->stats();
+
+  std::uint64_t completed = 0;
+  std::uint64_t redundant = 0;
+  std::uint64_t unmatched = 0;
+  for (const host::Client* client : experiment.clients()) {
+    completed += client->stats().completed;
+    redundant += client->stats().redundant_responses;
+    unmatched += client->stats().unmatched_responses;
+  }
+  std::uint64_t stale = 0;
+  std::uint64_t server_completed = 0;
+  for (const host::Server* server : experiment.servers()) {
+    stale += server->stats().dropped_stale_clones;
+    server_completed += server->stats().completed;
+  }
+
+  // 1. Conservation: every request completes exactly once (drain covers
+  //    the tail at these sub-saturation loads).
+  EXPECT_EQ(completed, result.requests_sent) << "seed=" << param.seed;
+  EXPECT_EQ(unmatched, 0U);
+
+  // 2. Clone accounting: each cloned request's duplicate was filtered at
+  //    the switch, dropped at a busy server, or reached the client as a
+  //    redundant response.
+  EXPECT_EQ(prog.cloned_requests,
+            prog.filtered_responses + stale + redundant)
+      << "seed=" << param.seed;
+
+  // 3. One recirculation per clone, no parse errors, no stray drops.
+  EXPECT_EQ(prog.recirculated_clones, prog.cloned_requests);
+  EXPECT_EQ(result.switch_stats.parse_errors, 0U);
+  EXPECT_EQ(prog.missing_route_drops, 0U);
+
+  // 4. Server executions = originals + executed clones.
+  EXPECT_EQ(server_completed,
+            result.requests_sent + prog.cloned_requests - stale);
+
+  // 5. Filter-miss leakage stays at the collision level (two 2^17-slot
+  //    tables, microsecond slot lifetimes: far below 1%).
+  EXPECT_LE(static_cast<double>(redundant),
+            0.01 * static_cast<double>(prog.cloned_requests) + 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndLoads, InvariantSweep,
+    ::testing::Values(SweepCase{1, 0.2}, SweepCase{2, 0.2},
+                      SweepCase{3, 0.5}, SweepCase{4, 0.5},
+                      SweepCase{5, 0.7}, SweepCase{6, 0.7},
+                      SweepCase{7, 0.35}, SweepCase{8, 0.6},
+                      SweepCase{9, 0.45}, SweepCase{10, 0.25}),
+    [](const ::testing::TestParamInfo<SweepCase>& param_info) {
+      return "seed" + std::to_string(param_info.param.seed) + "_load" +
+             std::to_string(static_cast<int>(param_info.param.load * 100));
+    });
+
+}  // namespace
+}  // namespace netclone::harness

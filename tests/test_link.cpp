@@ -1,0 +1,135 @@
+#include "phys/link.hpp"
+
+#include <gtest/gtest.h>
+
+#include "phys/node.hpp"
+#include "sim/simulator.hpp"
+#include "test_util.hpp"
+
+namespace netclone::phys {
+namespace {
+
+using namespace netclone::literals;
+using netclone::testing::CaptureNode;
+
+wire::Frame frame_of_size(std::size_t n) {
+  return wire::Frame(n, std::byte{0x42});
+}
+
+TEST(Link, DeliversWithPropagationAndSerializationDelay) {
+  sim::Simulator sim;
+  CaptureNode dst;
+  LinkParams params;
+  params.rate_bps = 100e9;       // 100 GbE: 1000 bytes = 80 ns
+  params.delay = 850_ns;
+  Link link{sim, params};
+  link.connect_to(&dst, 3);
+
+  link.transmit(frame_of_size(1000));
+  sim.run();
+  ASSERT_EQ(dst.received.size(), 1U);
+  EXPECT_EQ(dst.received[0].port, 3U);
+  EXPECT_EQ(sim.now(), 930_ns);  // 80 + 850
+  EXPECT_EQ(link.stats().tx_frames, 1U);
+  EXPECT_EQ(link.stats().tx_bytes, 1000U);
+}
+
+TEST(Link, BackToBackFramesSerialize) {
+  sim::Simulator sim;
+  CaptureNode dst;
+  LinkParams params;
+  params.rate_bps = 1e9;  // 1 Gb: 125 bytes = 1 us
+  params.delay = SimTime::zero();
+  Link link{sim, params};
+  link.connect_to(&dst, 0);
+
+  link.transmit(frame_of_size(125));
+  link.transmit(frame_of_size(125));
+  sim.run();
+  ASSERT_EQ(dst.received.size(), 2U);
+  // Second frame waits for the first to finish serializing.
+  EXPECT_EQ(sim.now(), 2_us);
+}
+
+TEST(Link, QueueOverflowDrops) {
+  sim::Simulator sim;
+  CaptureNode dst;
+  LinkParams params;
+  params.rate_bps = 1e9;
+  params.delay = SimTime::zero();
+  params.queue_capacity = 2;
+  Link link{sim, params};
+  link.connect_to(&dst, 0);
+
+  for (int i = 0; i < 5; ++i) {
+    link.transmit(frame_of_size(125));
+  }
+  sim.run();
+  // One in flight + 2 queued; the other 2 dropped.
+  EXPECT_EQ(dst.received.size(), 3U);
+  EXPECT_EQ(link.stats().dropped_frames, 2U);
+}
+
+TEST(Link, UnconnectedDrops) {
+  sim::Simulator sim;
+  Link link{sim, LinkParams{}};
+  link.transmit(frame_of_size(100));
+  sim.run();
+  EXPECT_EQ(link.stats().dropped_frames, 1U);
+  EXPECT_EQ(link.stats().tx_frames, 0U);
+}
+
+TEST(Link, DownLinkDropsNewFrames) {
+  sim::Simulator sim;
+  CaptureNode dst;
+  Link link{sim, LinkParams{}};
+  link.connect_to(&dst, 0);
+  link.set_up(false);
+  link.transmit(frame_of_size(100));
+  sim.run();
+  EXPECT_TRUE(dst.received.empty());
+  EXPECT_EQ(link.stats().dropped_frames, 1U);
+}
+
+TEST(Link, GoingDownLosesInFlightFrames) {
+  sim::Simulator sim;
+  CaptureNode dst;
+  LinkParams params;
+  params.delay = 1_ms;
+  Link link{sim, params};
+  link.connect_to(&dst, 0);
+  link.transmit(frame_of_size(100));
+  sim.schedule_at(10_us, [&] { link.set_up(false); });
+  sim.run();
+  EXPECT_TRUE(dst.received.empty());
+}
+
+TEST(Link, RecoversAfterDown) {
+  sim::Simulator sim;
+  CaptureNode dst;
+  Link link{sim, LinkParams{}};
+  link.connect_to(&dst, 0);
+  link.set_up(false);
+  link.set_up(true);
+  link.transmit(frame_of_size(100));
+  sim.run();
+  EXPECT_EQ(dst.received.size(), 1U);
+}
+
+TEST(Link, DoubleConnectThrows) {
+  sim::Simulator sim;
+  CaptureNode dst;
+  Link link{sim, LinkParams{}};
+  link.connect_to(&dst, 0);
+  EXPECT_THROW((void)link.connect_to(&dst, 1), CheckFailure);
+}
+
+TEST(Link, ZeroRateRejected) {
+  sim::Simulator sim;
+  LinkParams params;
+  params.rate_bps = 0.0;
+  EXPECT_THROW((void)Link(sim, params), CheckFailure);
+}
+
+}  // namespace
+}  // namespace netclone::phys

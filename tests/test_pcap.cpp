@@ -1,0 +1,62 @@
+#include "wire/pcap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+#include "wire/frame.hpp"
+
+namespace netclone::wire {
+namespace {
+
+std::vector<unsigned char> slurp(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  return {std::istreambuf_iterator<char>{in},
+          std::istreambuf_iterator<char>{}};
+}
+
+class PcapTest : public ::testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_ = ::testing::TempDir() + "netclone_test.pcap";
+};
+
+TEST_F(PcapTest, GlobalHeaderIsWellFormed) {
+  { PcapWriter writer{path_}; }
+  const auto bytes = slurp(path_);
+  ASSERT_EQ(bytes.size(), 24U);
+  // Little-endian magic 0xA1B2C3D4.
+  EXPECT_EQ(bytes[0], 0xD4);
+  EXPECT_EQ(bytes[1], 0xC3);
+  EXPECT_EQ(bytes[2], 0xB2);
+  EXPECT_EQ(bytes[3], 0xA1);
+  EXPECT_EQ(bytes[20], 1);  // LINKTYPE_ETHERNET
+}
+
+TEST_F(PcapTest, RecordsFrames) {
+  const Frame frame(60, std::byte{0xAB});
+  {
+    PcapWriter writer{path_};
+    writer.write(SimTime::microseconds(1.5), frame);
+    writer.write(SimTime::seconds(2.0), frame);
+    EXPECT_EQ(writer.frames_written(), 2U);
+  }
+  const auto bytes = slurp(path_);
+  // 24 global + 2 * (16 record header + 60 payload).
+  ASSERT_EQ(bytes.size(), 24U + 2 * (16 + 60));
+  // First record: ts_sec 0, ts_usec 1 (1.5us truncates to 1), len 60.
+  EXPECT_EQ(bytes[24], 0);
+  EXPECT_EQ(bytes[28], 1);
+  EXPECT_EQ(bytes[32], 60);
+  // Second record timestamp: 2 seconds.
+  EXPECT_EQ(bytes[24 + 16 + 60], 2);
+}
+
+TEST_F(PcapTest, UnwritablePathThrows) {
+  EXPECT_THROW(PcapWriter{"/nonexistent-dir/x.pcap"}, std::runtime_error);
+}
+
+}  // namespace
+}  // namespace netclone::wire

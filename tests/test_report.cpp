@@ -1,0 +1,98 @@
+#include "harness/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+namespace netclone::harness {
+namespace {
+
+SweepPoint point(Scheme scheme, double load, double p99_us,
+                 double achieved) {
+  SweepPoint p;
+  p.load_fraction = load;
+  p.result.scheme = scheme;
+  p.result.offered_rps = achieved;
+  p.result.achieved_rps = achieved;
+  p.result.p99 = SimTime::microseconds(p99_us);
+  p.result.requests_sent = 1000;
+  return p;
+}
+
+TEST(Report, DefaultLoadPointsCoverTheSweep) {
+  const auto loads = default_load_points();
+  ASSERT_EQ(loads.size(), 9U);
+  EXPECT_DOUBLE_EQ(loads.front(), 0.1);
+  EXPECT_DOUBLE_EQ(loads.back(), 0.9);
+}
+
+TEST(Report, BestImprovementPicksMaxRatio) {
+  const std::vector<SweepPoint> a = {
+      point(Scheme::kBaseline, 0.1, 100.0, 1.0),
+      point(Scheme::kBaseline, 0.5, 300.0, 2.0)};
+  const std::vector<SweepPoint> b = {
+      point(Scheme::kNetClone, 0.1, 50.0, 1.0),
+      point(Scheme::kNetClone, 0.5, 100.0, 2.0)};
+  EXPECT_DOUBLE_EQ(best_p99_improvement(a, b), 3.0);
+  // Mismatched lengths compare the common prefix.
+  const std::vector<SweepPoint> shorter = {
+      point(Scheme::kNetClone, 0.1, 25.0, 1.0)};
+  EXPECT_DOUBLE_EQ(best_p99_improvement(a, shorter), 4.0);
+  EXPECT_DOUBLE_EQ(best_p99_improvement({}, b), 0.0);
+}
+
+TEST(Report, PeakThroughput) {
+  const std::vector<SweepPoint> pts = {
+      point(Scheme::kBaseline, 0.1, 1.0, 500.0),
+      point(Scheme::kBaseline, 0.5, 1.0, 1500.0),
+      point(Scheme::kBaseline, 0.9, 1.0, 900.0)};
+  EXPECT_DOUBLE_EQ(peak_throughput(pts), 1500.0);
+  EXPECT_DOUBLE_EQ(peak_throughput({}), 0.0);
+}
+
+TEST(Report, ShapeCheckVerdicts) {
+  ShapeCheck all_ok;
+  all_ok.expect(true, "a");
+  all_ok.expect(true, "b");
+  EXPECT_TRUE(all_ok.report());
+
+  ShapeCheck partial;
+  partial.expect(true, "a");
+  partial.expect(false, "b");
+  EXPECT_FALSE(partial.report());
+
+  ShapeCheck empty;
+  EXPECT_TRUE(empty.report());
+}
+
+TEST(Report, CsvWritesHeaderAndRows) {
+  const std::string path = ::testing::TempDir() + "netclone_report.csv";
+  const std::vector<SweepPoint> pts = {
+      point(Scheme::kNetClone, 0.5, 123.0, 42000.0)};
+  ASSERT_TRUE(write_csv(path, pts));
+  std::ifstream in{path};
+  std::string header;
+  std::string row;
+  std::getline(in, header);
+  std::getline(in, row);
+  EXPECT_NE(header.find("scheme,load_fraction"), std::string::npos);
+  EXPECT_NE(row.find("NetClone,0.500"), std::string::npos);
+  EXPECT_NE(row.find("123.000"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Report, CsvFailsGracefully) {
+  EXPECT_FALSE(write_csv("/nonexistent-dir/x.csv", {}));
+}
+
+TEST(Report, BenchScaleDefaultsToOne) {
+  // NETCLONE_BENCH_SCALE is unset in the test environment.
+  EXPECT_DOUBLE_EQ(bench_scale(), 1.0);
+  EXPECT_EQ(scaled(SimTime::milliseconds(10)).ns(),
+            SimTime::milliseconds(10).ns());
+}
+
+}  // namespace
+}  // namespace netclone::harness

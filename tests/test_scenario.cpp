@@ -1,0 +1,142 @@
+#include "harness/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace netclone::harness {
+namespace {
+
+TEST(ScenarioParse, DefaultsAndOverrides) {
+  const Scenario s = parse_scenario(R"(
+    scheme = baseline
+    servers = 4
+    workers = 8
+    loads = 0.2, 0.5
+    mean_us = 50
+  )");
+  EXPECT_EQ(s.scheme, Scheme::kBaseline);
+  EXPECT_EQ(s.servers, 4U);
+  EXPECT_EQ(s.workers, 8U);
+  EXPECT_EQ(s.loads, (std::vector<double>{0.2, 0.5}));
+  EXPECT_DOUBLE_EQ(s.mean_us, 50.0);
+  // Untouched keys keep their defaults.
+  EXPECT_EQ(s.clients, 2U);
+  EXPECT_EQ(s.workload, "exp");
+}
+
+TEST(ScenarioParse, CommentsAndBlankLines) {
+  const Scenario s = parse_scenario(
+      "# full-line comment\n\nscheme = netclone  # trailing comment\n");
+  EXPECT_EQ(s.scheme, Scheme::kNetClone);
+}
+
+TEST(ScenarioParse, LaterKeysWin) {
+  const Scenario s =
+      parse_scenario("servers = 4\nservers = 6\nscheme = cclone\n");
+  EXPECT_EQ(s.servers, 6U);
+  EXPECT_EQ(s.scheme, Scheme::kCClone);
+}
+
+TEST(ScenarioParse, AllSchemesRecognized) {
+  EXPECT_EQ(parse_scheme("baseline"), Scheme::kBaseline);
+  EXPECT_EQ(parse_scheme("C-Clone"), Scheme::kCClone);
+  EXPECT_EQ(parse_scheme("LAEDGE"), Scheme::kLaedge);
+  EXPECT_EQ(parse_scheme("NetClone"), Scheme::kNetClone);
+  EXPECT_EQ(parse_scheme("netclone-nofilter"), Scheme::kNetCloneNoFilter);
+  EXPECT_EQ(parse_scheme("racksched"), Scheme::kRackSched);
+  EXPECT_EQ(parse_scheme("netclone-racksched"),
+            Scheme::kNetCloneRackSched);
+  EXPECT_THROW((void)parse_scheme("quantum"), ScenarioError);
+}
+
+TEST(ScenarioParse, Errors) {
+  EXPECT_THROW((void)parse_scenario("bogus_key = 1\n"), ScenarioError);
+  EXPECT_THROW((void)parse_scenario("servers\n"), ScenarioError);
+  EXPECT_THROW((void)parse_scenario("servers =\n"), ScenarioError);
+  EXPECT_THROW((void)parse_scenario("servers = few\n"), ScenarioError);
+  EXPECT_THROW((void)parse_scenario("servers = 1\n"), ScenarioError);
+  EXPECT_THROW((void)parse_scenario("clients = 0\n"), ScenarioError);
+  EXPECT_THROW((void)parse_scenario("workload = exotic\n"), ScenarioError);
+  EXPECT_THROW((void)parse_scenario("loads = 0.5,-1\n"), ScenarioError);
+  EXPECT_THROW((void)parse_scenario("loads = \n"), ScenarioError);
+  EXPECT_THROW((void)parse_scenario("servers = 2.5\n"), ScenarioError);
+}
+
+TEST(ScenarioParse, TemplateParsesCleanly) {
+  const Scenario s = parse_scenario(default_scenario_text());
+  EXPECT_EQ(s.scheme, Scheme::kNetClone);
+  EXPECT_EQ(s.servers, 6U);
+}
+
+TEST(ScenarioFile, MissingFileThrows) {
+  EXPECT_THROW((void)load_scenario_file("/nonexistent/scenario.cfg"),
+               ScenarioError);
+}
+
+TEST(ScenarioFile, RoundTripThroughDisk) {
+  const std::string path = ::testing::TempDir() + "netclone_scenario.cfg";
+  {
+    std::ofstream out{path};
+    out << "scheme = racksched\nservers = 3\n";
+  }
+  const Scenario s = load_scenario_file(path);
+  EXPECT_EQ(s.scheme, Scheme::kRackSched);
+  EXPECT_EQ(s.servers, 3U);
+  std::remove(path.c_str());
+}
+
+TEST(ScenarioBuild, SyntheticConfigWiring) {
+  Scenario s = parse_scenario("workload = bimodal\nservers = 3\n");
+  const ClusterConfig cfg = s.build_config();
+  EXPECT_EQ(cfg.server_workers.size(), 3U);
+  EXPECT_EQ(cfg.factory->label(), "Bimodal(90%-25,10%-250)");
+  // Capacity uses the jitter-inflated mean.
+  const double expected =
+      3.0 * 16.0 * 1e6 / (cfg.factory->mean_intrinsic_us() * 1.14);
+  EXPECT_NEAR(s.capacity_rps(), expected, expected * 1e-9);
+}
+
+TEST(ScenarioBuild, KvConfigWiring) {
+  Scenario s = parse_scenario(
+      "workload = memcached\nkv_objects = 1000\nget_fraction = 0.9\n");
+  const ClusterConfig cfg = s.build_config();
+  EXPECT_EQ(cfg.factory->label(), "Memcached 90%-GET,10%-SCAN");
+}
+
+TEST(ScenarioRun, EndToEndTinySweep) {
+  Scenario s = parse_scenario(R"(
+    scheme = netclone
+    servers = 2
+    workers = 4
+    loads = 0.3
+    measure_ms = 4
+    warmup_ms = 1
+    title = tiny
+  )");
+  const auto points = s.run();
+  ASSERT_EQ(points.size(), 1U);
+  EXPECT_GT(points[0].result.completed, 0U);
+  EXPECT_GT(points[0].result.cloned_requests, 0U);
+}
+
+TEST(ScenarioRun, CsvExport) {
+  const std::string path = ::testing::TempDir() + "netclone_sweep.csv";
+  Scenario s = parse_scenario("servers = 2\nworkers = 4\nloads = 0.2\n"
+                              "measure_ms = 3\nwarmup_ms = 1\ncsv = " +
+                              path + "\n");
+  (void)s.run();
+  std::ifstream in{path};
+  ASSERT_TRUE(in.good());
+  std::string header;
+  std::getline(in, header);
+  EXPECT_NE(header.find("p99_us"), std::string::npos);
+  std::string row;
+  std::getline(in, row);
+  EXPECT_NE(row.find("NetClone"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace netclone::harness

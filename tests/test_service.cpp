@@ -1,0 +1,74 @@
+#include "host/service.hpp"
+
+#include <gtest/gtest.h>
+
+namespace netclone::host {
+namespace {
+
+wire::RpcRequest synthetic(std::uint32_t ns) {
+  wire::RpcRequest req;
+  req.op = wire::RpcOp::kSynthetic;
+  req.intrinsic_ns = ns;
+  return req;
+}
+
+TEST(JitterModel, NoJitterPassesThrough) {
+  const JitterModel jitter{0.0, 15.0};
+  Rng rng{1};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(jitter.apply(SimTime::microseconds(25.0), rng).ns(), 25000);
+  }
+}
+
+TEST(JitterModel, AlwaysJitterMultiplies) {
+  const JitterModel jitter{1.0, 15.0};
+  Rng rng{1};
+  EXPECT_EQ(jitter.apply(SimTime::microseconds(10.0), rng).ns(), 150000);
+}
+
+TEST(JitterModel, MeanInflation) {
+  EXPECT_DOUBLE_EQ((JitterModel{0.01, 15.0}.mean_inflation()), 1.14);
+  EXPECT_DOUBLE_EQ((JitterModel{0.001, 15.0}.mean_inflation()), 1.014);
+  EXPECT_DOUBLE_EQ((JitterModel{0.0, 15.0}.mean_inflation()), 1.0);
+}
+
+TEST(JitterModel, EmpiricalRateMatchesProbability) {
+  const JitterModel jitter{0.01, 15.0};
+  Rng rng{7};
+  int jittered = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    if (jitter.apply(SimTime::microseconds(1.0), rng).ns() > 1000) {
+      ++jittered;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(jittered) / kN, 0.01, 0.002);
+}
+
+TEST(SyntheticService, UsesIntrinsicDuration) {
+  SyntheticService service{JitterModel{0.0, 15.0}};
+  Rng rng{1};
+  EXPECT_EQ(service.execution_time(synthetic(42000), rng).ns(), 42000);
+}
+
+TEST(SyntheticService, JitterInflatesMean) {
+  SyntheticService service{JitterModel{0.01, 15.0}};
+  Rng rng{3};
+  double sum = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    sum += static_cast<double>(
+        service.execution_time(synthetic(25000), rng).ns());
+  }
+  EXPECT_NEAR(sum / kN, 25000.0 * 1.14, 300.0);
+}
+
+TEST(SyntheticService, ExecuteReturnsEmptyOk) {
+  SyntheticService service{JitterModel{}};
+  const wire::RpcResponse resp = service.execute(synthetic(1));
+  EXPECT_EQ(resp.status, wire::RpcStatus::kOk);
+  EXPECT_TRUE(resp.value.empty());
+}
+
+}  // namespace
+}  // namespace netclone::host

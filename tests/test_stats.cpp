@@ -1,0 +1,87 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace netclone {
+namespace {
+
+TEST(StreamingStats, Empty) {
+  StreamingStats s;
+  EXPECT_EQ(s.count(), 0U);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(StreamingStats, SingleValue) {
+  StreamingStats s;
+  s.add(4.5);
+  EXPECT_EQ(s.count(), 1U);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 4.5);
+  EXPECT_DOUBLE_EQ(s.max(), 4.5);
+}
+
+TEST(StreamingStats, KnownSmallSet) {
+  StreamingStats s;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.add(v);
+  }
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance of the classic example set is 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(StreamingStats, MatchesTwoPassComputation) {
+  Rng rng{5};
+  StreamingStats s;
+  std::vector<double> values;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.normal(100.0, 15.0);
+    values.push_back(v);
+    s.add(v);
+  }
+  double sum = 0.0;
+  for (const double v : values) {
+    sum += v;
+  }
+  const double mean = sum / static_cast<double>(values.size());
+  double ss = 0.0;
+  for (const double v : values) {
+    ss += (v - mean) * (v - mean);
+  }
+  const double var = ss / static_cast<double>(values.size() - 1);
+  EXPECT_NEAR(s.mean(), mean, 1e-9);
+  EXPECT_NEAR(s.variance(), var, var * 1e-9);
+}
+
+TEST(ExactPercentile, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(exact_percentile({}, 0.5), 0.0);
+}
+
+TEST(ExactPercentile, SmallSets) {
+  const std::vector<double> v{5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(exact_percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(exact_percentile(v, 0.2), 1.0);
+  EXPECT_DOUBLE_EQ(exact_percentile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(exact_percentile(v, 1.0), 5.0);
+}
+
+TEST(ExactPercentile, DoesNotMutateInput) {
+  const std::vector<double> v{3.0, 1.0, 2.0};
+  (void)exact_percentile(v, 0.5);
+  EXPECT_EQ(v[0], 3.0);
+  EXPECT_EQ(v[1], 1.0);
+}
+
+}  // namespace
+}  // namespace netclone

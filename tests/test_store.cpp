@@ -1,0 +1,114 @@
+#include "kv/store.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace netclone::kv {
+namespace {
+
+TEST(KvStore, SetAndGet) {
+  KvStore store{16};
+  EXPECT_TRUE(store.set("hello", "world"));
+  const auto v = store.get("hello");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, "world");
+  EXPECT_EQ(store.size(), 1U);
+}
+
+TEST(KvStore, MissingKeyIsNullopt) {
+  KvStore store{16};
+  EXPECT_FALSE(store.get("nope").has_value());
+  EXPECT_FALSE(store.contains("nope"));
+}
+
+TEST(KvStore, OverwriteKeepsSize) {
+  KvStore store{16};
+  EXPECT_TRUE(store.set("k", "v1"));
+  EXPECT_TRUE(store.set("k", "v2"));
+  EXPECT_EQ(store.size(), 1U);
+  EXPECT_EQ(*store.get("k"), "v2");
+}
+
+TEST(KvStore, RejectsOversizedKeysAndValues) {
+  KvStore store{16};
+  EXPECT_FALSE(store.set(std::string(17, 'k'), "v"));
+  EXPECT_FALSE(store.set("k", std::string(65, 'v')));
+  EXPECT_FALSE(store.set("", "v"));
+  EXPECT_TRUE(store.set(std::string(16, 'k'), std::string(64, 'v')));
+}
+
+TEST(KvStore, LoadFactorBoundEnforced) {
+  KvStore store{4};  // capacity rounds to 8; max 4 objects
+  EXPECT_EQ(store.capacity(), 8U);
+  int inserted = 0;
+  for (int i = 0; i < 10; ++i) {
+    inserted += store.set("key" + std::to_string(i), "v") ? 1 : 0;
+  }
+  EXPECT_EQ(inserted, 4);
+  EXPECT_EQ(store.size(), 4U);
+  // Existing keys still updatable at the bound.
+  EXPECT_TRUE(store.set("key0", "v2"));
+}
+
+TEST(KvStore, ProbeChainsSurviveCollisions) {
+  KvStore store{64};
+  // Insert enough keys that linear probing wraps and chains.
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_TRUE(store.set(key_for_index(static_cast<std::uint64_t>(i)),
+                          value_for_index(static_cast<std::uint64_t>(i))));
+  }
+  for (int i = 0; i < 60; ++i) {
+    const auto v = store.get(key_for_index(static_cast<std::uint64_t>(i)));
+    ASSERT_TRUE(v.has_value()) << i;
+    EXPECT_EQ(*v, value_for_index(static_cast<std::uint64_t>(i)));
+  }
+}
+
+TEST(KvStore, ScanDigestDeterministicAndSensitive) {
+  KvStore store{256};
+  populate(store, 128);
+  const std::uint64_t d1 = store.scan_digest(key_for_index(5), 100);
+  const std::uint64_t d2 = store.scan_digest(key_for_index(5), 100);
+  EXPECT_EQ(d1, d2);
+  const std::uint64_t d3 = store.scan_digest(key_for_index(6), 100);
+  EXPECT_NE(d1, d3);  // different start -> different objects folded
+  const std::uint64_t d4 = store.scan_digest(key_for_index(5), 50);
+  EXPECT_NE(d1, d4);  // different count
+}
+
+TEST(KvStore, ScanOnEmptyStore) {
+  KvStore store{16};
+  // No occupied slots: digest is the FNV offset basis, and no crash.
+  EXPECT_EQ(store.scan_digest("whatever", 100), 0xCBF29CE484222325ULL);
+}
+
+TEST(KeyValueHelpers, Shapes) {
+  const std::string key = key_for_index(1234);
+  EXPECT_EQ(key.size(), kMaxKeyBytes);
+  EXPECT_EQ(key, "k000000000001234");
+  const std::string value = value_for_index(1234);
+  EXPECT_EQ(value.size(), kMaxValueBytes);
+  EXPECT_EQ(value, value_for_index(1234));
+  EXPECT_NE(value, value_for_index(1235));
+}
+
+TEST(KvStore, PopulateMatchesPaperScale) {
+  // 100k objects (1M in the benches, shrunk here for test speed): every
+  // object retrievable with the right value.
+  KvStore store{100000};
+  populate(store, 100000);
+  EXPECT_EQ(store.size(), 100000U);
+  for (std::uint64_t i = 0; i < 100000; i += 9973) {
+    const auto v = store.get(key_for_index(i));
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, value_for_index(i));
+  }
+}
+
+TEST(KvStore, ZeroCapacityRejected) {
+  EXPECT_THROW(KvStore{0}, CheckFailure);
+}
+
+}  // namespace
+}  // namespace netclone::kv

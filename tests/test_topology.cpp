@@ -1,0 +1,79 @@
+#include "phys/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace netclone::phys {
+namespace {
+
+using netclone::testing::CaptureNode;
+
+TEST(Topology, DuplexPortsAreSymmetric) {
+  sim::Simulator sim;
+  Topology topo{sim};
+  auto& a = topo.add_node<CaptureNode>("a");
+  auto& b = topo.add_node<CaptureNode>("b");
+  const DuplexPorts ports = topo.connect(a, b);
+  EXPECT_EQ(ports.port_on_a, 0U);
+  EXPECT_EQ(ports.port_on_b, 0U);
+  EXPECT_EQ(a.port_count(), 1U);
+  EXPECT_EQ(b.port_count(), 1U);
+
+  a.transmit(ports.port_on_a, wire::Frame(10, std::byte{1}));
+  b.transmit(ports.port_on_b, wire::Frame(20, std::byte{2}));
+  sim.run();
+  ASSERT_EQ(b.received.size(), 1U);
+  ASSERT_EQ(a.received.size(), 1U);
+  EXPECT_EQ(b.received[0].frame.size(), 10U);
+  EXPECT_EQ(a.received[0].frame.size(), 20U);
+  // Frames arrive on the port index of the duplex connection.
+  EXPECT_EQ(b.received[0].port, ports.port_on_b);
+  EXPECT_EQ(a.received[0].port, ports.port_on_a);
+}
+
+TEST(Topology, StarAssignsIncreasingPorts) {
+  sim::Simulator sim;
+  Topology topo{sim};
+  auto& hub = topo.add_node<CaptureNode>("hub");
+  auto& s1 = topo.add_node<CaptureNode>("s1");
+  auto& s2 = topo.add_node<CaptureNode>("s2");
+  auto& s3 = topo.add_node<CaptureNode>("s3");
+  const auto p1 = topo.connect(s1, hub);
+  const auto p2 = topo.connect(s2, hub);
+  const auto p3 = topo.connect(s3, hub);
+  EXPECT_EQ(p1.port_on_b, 0U);
+  EXPECT_EQ(p2.port_on_b, 1U);
+  EXPECT_EQ(p3.port_on_b, 2U);
+  EXPECT_EQ(hub.port_count(), 3U);
+
+  s2.transmit(0, wire::Frame(5, std::byte{7}));
+  sim.run();
+  ASSERT_EQ(hub.received.size(), 1U);
+  EXPECT_EQ(hub.received[0].port, 1U);  // arrived on s2's hub port
+}
+
+TEST(Topology, LinkStatsAccessible) {
+  sim::Simulator sim;
+  Topology topo{sim};
+  auto& a = topo.add_node<CaptureNode>("a");
+  auto& b = topo.add_node<CaptureNode>("b");
+  const auto ports = topo.connect(a, b);
+  a.transmit(0, wire::Frame(100, std::byte{0}));
+  sim.run();
+  EXPECT_EQ(ports.a_to_b->stats().tx_frames, 1U);
+  EXPECT_EQ(ports.b_to_a->stats().tx_frames, 0U);
+  EXPECT_EQ(topo.links().size(), 2U);
+}
+
+TEST(Topology, SendOnUnpluggedPortIsLost) {
+  sim::Simulator sim;
+  Topology topo{sim};
+  auto& a = topo.add_node<CaptureNode>("a");
+  a.transmit(5, wire::Frame(10, std::byte{0}));  // no such port
+  sim.run();  // must not crash
+  EXPECT_TRUE(a.received.empty());
+}
+
+}  // namespace
+}  // namespace netclone::phys

@@ -1,0 +1,108 @@
+#include "pisa/tracing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/netclone_program.hpp"
+#include "host/addressing.hpp"
+#include "test_util.hpp"
+
+namespace netclone::pisa {
+namespace {
+
+using netclone::testing::make_request;
+using netclone::testing::make_response;
+using netclone::testing::run_ingress;
+
+struct Rig {
+  Pipeline pipeline;
+  std::shared_ptr<core::NetCloneProgram> inner;
+  TracingProgram tracer;
+
+  Rig()
+      : inner(std::make_shared<core::NetCloneProgram>(
+            pipeline, core::NetCloneConfig{})),
+        tracer(inner, /*capacity=*/4) {
+    inner->add_server(ServerId{0}, host::server_ip(ServerId{0}), 10, 1);
+    inner->add_server(ServerId{1}, host::server_ip(ServerId{1}), 11, 2);
+    inner->install_groups(core::build_group_pairs(2));
+    inner->add_route(host::client_ip(0), 20);
+    inner->add_route(host::client_ip(3), 23);
+  }
+};
+
+TEST(Tracing, RecordsDecisions) {
+  Rig rig;
+  wire::Packet req = make_request(0, 7, 0, 0);
+  (void)run_ingress(rig.tracer, rig.pipeline, req);  // clones -> MCAST
+
+  wire::Packet resp = make_response(ServerId{0}, 0, req);
+  (void)run_ingress(rig.tracer, rig.pipeline, resp);  // faster -> FWD
+
+  wire::Packet dup = make_response(ServerId{1}, 0, req);
+  (void)run_ingress(rig.tracer, rig.pipeline, dup);  // slower -> DROP
+
+  ASSERT_EQ(rig.tracer.records().size(), 3U);
+  const auto& records = rig.tracer.records();
+  EXPECT_TRUE(records[0].is_request);
+  EXPECT_TRUE(records[0].multicast);
+  EXPECT_FALSE(records[1].is_request);
+  EXPECT_FALSE(records[1].dropped);
+  EXPECT_EQ(records[1].egress_port, 20U);
+  EXPECT_TRUE(records[2].dropped);
+  EXPECT_EQ(records[2].client_seq, 7U);
+  EXPECT_EQ(records[0].req_id, records[2].req_id);
+}
+
+TEST(Tracing, RingIsBounded) {
+  Rig rig;
+  for (std::uint32_t i = 1; i <= 10; ++i) {
+    wire::Packet req = make_request(0, i, 0, 0);
+    (void)run_ingress(rig.tracer, rig.pipeline, req);
+  }
+  EXPECT_EQ(rig.tracer.records().size(), 4U);  // capacity
+  EXPECT_EQ(rig.tracer.total_traced(), 10U);
+  // The ring holds the most recent packets.
+  EXPECT_EQ(rig.tracer.records().back().client_seq, 10U);
+  EXPECT_EQ(rig.tracer.records().front().client_seq, 7U);
+}
+
+TEST(Tracing, InnerBehaviourUnchanged) {
+  Rig traced;
+  Rig plain;
+  for (std::uint32_t i = 1; i <= 20; ++i) {
+    wire::Packet a = make_request(0, i, 0, 0);
+    wire::Packet b = make_request(0, i, 0, 0);
+    const auto md_traced = run_ingress(traced.tracer, traced.pipeline, a);
+    const auto md_plain = run_ingress(*plain.inner, plain.pipeline, b);
+    EXPECT_EQ(md_traced.drop, md_plain.drop);
+    EXPECT_EQ(md_traced.multicast_group, md_plain.multicast_group);
+    EXPECT_EQ(a.nc().req_id, b.nc().req_id);
+  }
+}
+
+TEST(Tracing, ToStringFormats) {
+  Rig rig;
+  wire::Packet req = make_request(3, 9, 0, 0);
+  (void)run_ingress(rig.tracer, rig.pipeline, req);
+  const std::string line = rig.tracer.records()[0].to_string();
+  EXPECT_NE(line.find("REQ"), std::string::npos);
+  EXPECT_NE(line.find("MCAST"), std::string::npos);
+  EXPECT_NE(line.find("client=3/9"), std::string::npos);
+
+  wire::Packet resp = make_response(ServerId{0}, 0, req);
+  (void)run_ingress(rig.tracer, rig.pipeline, resp);
+  const std::string fwd = rig.tracer.records()[1].to_string();
+  EXPECT_NE(fwd.find("FWD port=23"), std::string::npos);
+}
+
+TEST(Tracing, ClearEmptiesRing) {
+  Rig rig;
+  wire::Packet req = make_request(0, 1, 0, 0);
+  (void)run_ingress(rig.tracer, rig.pipeline, req);
+  rig.tracer.clear();
+  EXPECT_TRUE(rig.tracer.records().empty());
+  EXPECT_EQ(rig.tracer.total_traced(), 1U);
+}
+
+}  // namespace
+}  // namespace netclone::pisa

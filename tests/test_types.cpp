@@ -1,0 +1,80 @@
+#include "common/types.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"  // to_string(SimTime) lives in the stats TU
+
+namespace netclone {
+namespace {
+
+using namespace netclone::literals;
+
+TEST(SimTime, DefaultIsZero) {
+  EXPECT_EQ(SimTime{}.ns(), 0);
+  EXPECT_EQ(SimTime::zero().ns(), 0);
+}
+
+TEST(SimTime, FactoryConversions) {
+  EXPECT_EQ(SimTime::nanoseconds(42).ns(), 42);
+  EXPECT_EQ(SimTime::microseconds(1.5).ns(), 1500);
+  EXPECT_EQ(SimTime::milliseconds(2.0).ns(), 2000000);
+  EXPECT_EQ(SimTime::seconds(0.001).ns(), 1000000);
+}
+
+TEST(SimTime, Literals) {
+  EXPECT_EQ((5_ns).ns(), 5);
+  EXPECT_EQ((5_us).ns(), 5000);
+  EXPECT_EQ((5_ms).ns(), 5000000);
+  EXPECT_EQ((5_s).ns(), 5000000000LL);
+}
+
+TEST(SimTime, UnitAccessors) {
+  const SimTime t = SimTime::nanoseconds(2500);
+  EXPECT_DOUBLE_EQ(t.us(), 2.5);
+  EXPECT_DOUBLE_EQ(t.ms(), 0.0025);
+  EXPECT_DOUBLE_EQ(t.sec(), 0.0000025);
+}
+
+TEST(SimTime, Arithmetic) {
+  const SimTime a = 10_us;
+  const SimTime b = 3_us;
+  EXPECT_EQ((a + b).ns(), 13000);
+  EXPECT_EQ((a - b).ns(), 7000);
+  EXPECT_EQ((a * 3).ns(), 30000);
+  EXPECT_EQ((3 * b).ns(), 9000);
+  EXPECT_DOUBLE_EQ(a / b, 10.0 / 3.0);
+}
+
+TEST(SimTime, CompoundAssignment) {
+  SimTime t = 1_us;
+  t += 2_us;
+  EXPECT_EQ(t.ns(), 3000);
+  t -= 1_us;
+  EXPECT_EQ(t.ns(), 2000);
+}
+
+TEST(SimTime, Comparison) {
+  EXPECT_LT(1_us, 2_us);
+  EXPECT_LE(2_us, 2_us);
+  EXPECT_GT(3_us, 2_us);
+  EXPECT_EQ(1000_ns, 1_us);
+  EXPECT_NE(1_ns, 2_ns);
+}
+
+TEST(SimTime, MaxIsHuge) { EXPECT_GT(SimTime::max(), 100000000_s); }
+
+TEST(SimTime, ToStringPicksUnits) {
+  EXPECT_EQ(to_string(500_ns), "500 ns");
+  EXPECT_EQ(to_string(1500_ns), "1.500 us");
+  EXPECT_EQ(to_string(2500_us), "2.500 ms");
+  EXPECT_EQ(to_string(3_s), "3.000 s");
+}
+
+TEST(Ids, ValueRoundTrips) {
+  EXPECT_EQ(value_of(ServerId{7}), 7);
+  EXPECT_EQ(value_of(GroupId{300}), 300);
+  EXPECT_EQ(value_of(NodeId{123456}), 123456U);
+}
+
+}  // namespace
+}  // namespace netclone

@@ -1,0 +1,98 @@
+// Shared helpers for the test suite.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "host/addressing.hpp"
+#include "phys/node.hpp"
+#include "pisa/pipeline.hpp"
+#include "pisa/program.hpp"
+#include "wire/frame.hpp"
+#include "wire/rpc.hpp"
+
+namespace netclone::testing {
+
+/// A topology endpoint that records every frame it receives.
+class CaptureNode : public phys::Node {
+ public:
+  explicit CaptureNode(std::string name = "capture")
+      : phys::Node(std::move(name)) {}
+
+  void handle_frame(std::size_t port, wire::Frame frame) override {
+    received.push_back({port, std::move(frame)});
+  }
+
+  /// Transmits a frame out of a port (protected in Node).
+  void transmit(std::size_t port, wire::Frame frame) {
+    send(port, std::move(frame));
+  }
+
+  [[nodiscard]] std::vector<wire::Packet> packets() const {
+    std::vector<wire::Packet> out;
+    out.reserve(received.size());
+    for (const auto& [port, frame] : received) {
+      out.push_back(wire::Packet::parse(frame));
+    }
+    return out;
+  }
+
+  struct Rx {
+    std::size_t port;
+    wire::Frame frame;
+  };
+  std::vector<Rx> received;
+};
+
+/// Builds a NetClone request packet the way a client would.
+inline wire::Packet make_request(std::uint16_t client_id,
+                                 std::uint32_t client_seq, std::uint16_t grp,
+                                 std::uint8_t idx,
+                                 std::uint32_t intrinsic_ns = 25000) {
+  wire::NetCloneHeader nc;
+  nc.type = wire::MsgType::kRequest;
+  nc.clo = wire::CloneStatus::kNotCloned;
+  nc.grp = grp;
+  nc.idx = idx;
+  nc.client_id = client_id;
+  nc.client_seq = client_seq;
+  wire::RpcRequest req;
+  req.op = wire::RpcOp::kSynthetic;
+  req.intrinsic_ns = intrinsic_ns;
+  return wire::make_netclone_packet(
+      wire::MacAddress::from_node(0x0200U + client_id),
+      wire::MacAddress::broadcast(), host::client_ip(client_id),
+      host::service_vip(),
+      static_cast<std::uint16_t>(40000 + client_id), nc, req.to_frame());
+}
+
+/// Builds a NetClone response packet the way a server would.
+inline wire::Packet make_response(ServerId sid, std::uint16_t qlen,
+                                  const wire::Packet& request) {
+  wire::Packet resp = request;
+  resp.ip.src = host::server_ip(sid);
+  resp.ip.dst = request.ip.src;
+  resp.udp.src_port = wire::kNetClonePort;
+  resp.udp.dst_port = request.udp.src_port;
+  resp.nc().type = wire::MsgType::kResponse;
+  resp.nc().sid = value_of(sid);
+  resp.nc().state = qlen;
+  resp.payload = wire::RpcResponse{}.to_frame();
+  return resp;
+}
+
+/// Runs one packet through a switch program with fresh pass/metadata.
+inline pisa::PacketMetadata run_ingress(pisa::SwitchProgram& program,
+                                        pisa::Pipeline& pipeline,
+                                        wire::Packet& pkt,
+                                        std::size_t ingress_port = 0,
+                                        bool recirculated = false) {
+  pisa::PacketMetadata md;
+  md.ingress_port = ingress_port;
+  md.is_recirculated = recirculated;
+  pisa::PipelinePass pass{pipeline};
+  program.on_ingress(pkt, md, pass);
+  return md;
+}
+
+}  // namespace netclone::testing

@@ -1,0 +1,69 @@
+#include "host/workload.hpp"
+
+#include <gtest/gtest.h>
+
+namespace netclone::host {
+namespace {
+
+TEST(ExponentialWorkload, MeanMatches) {
+  ExponentialWorkload w{25.0};
+  Rng rng{1};
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    const wire::RpcRequest req = w.make(rng);
+    EXPECT_EQ(req.op, wire::RpcOp::kSynthetic);
+    sum += static_cast<double>(req.intrinsic_ns) / 1000.0;
+  }
+  EXPECT_NEAR(sum / kN, 25.0, 0.4);
+  EXPECT_DOUBLE_EQ(w.mean_intrinsic_us(), 25.0);
+  EXPECT_EQ(w.label(), "Exp(25)");
+}
+
+TEST(BimodalWorkload, MixtureFractions) {
+  BimodalWorkload w{0.9, 25.0, 250.0};
+  Rng rng{2};
+  int shorts = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    const wire::RpcRequest req = w.make(rng);
+    if (req.intrinsic_ns == 25000) {
+      ++shorts;
+    } else {
+      EXPECT_EQ(req.intrinsic_ns, 250000U);
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(shorts) / kN, 0.9, 0.01);
+  EXPECT_DOUBLE_EQ(w.mean_intrinsic_us(), 0.9 * 25.0 + 0.1 * 250.0);
+  EXPECT_EQ(w.label(), "Bimodal(90%-25,10%-250)");
+}
+
+TEST(FixedWorkload, Deterministic) {
+  FixedWorkload w{50.0};
+  Rng rng{3};
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(w.make(rng).intrinsic_ns, 50000U);
+  }
+  EXPECT_DOUBLE_EQ(w.mean_intrinsic_us(), 50.0);
+  EXPECT_EQ(w.label(), "Fixed(50)");
+}
+
+// RPC-duration sweep matching §5.1.2 (25, 50, 500 us).
+class DurationSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(DurationSweep, ExponentialMeanHoldsForAllDurations) {
+  ExponentialWorkload w{GetParam()};
+  Rng rng{11};
+  double sum = 0.0;
+  constexpr int kN = 60000;
+  for (int i = 0; i < kN; ++i) {
+    sum += static_cast<double>(w.make(rng).intrinsic_ns) / 1000.0;
+  }
+  EXPECT_NEAR(sum / kN, GetParam(), GetParam() * 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperDurations, DurationSweep,
+                         ::testing::Values(25.0, 50.0, 500.0));
+
+}  // namespace
+}  // namespace netclone::host

@@ -1,0 +1,109 @@
+#include "kv/zipf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace netclone::kv {
+namespace {
+
+TEST(Zipf, SamplesStayInRange) {
+  ZipfGenerator zipf{1000, 0.99};
+  Rng rng{1};
+  for (int i = 0; i < 100000; ++i) {
+    EXPECT_LT(zipf.sample(rng), 1000U);
+  }
+}
+
+TEST(Zipf, DeterministicForSeed) {
+  ZipfGenerator zipf{1000, 0.99};
+  Rng a{5};
+  Rng b{5};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(zipf.sample(a), zipf.sample(b));
+  }
+}
+
+TEST(Zipf, HeadIsHotAtPaperSkew) {
+  ZipfGenerator zipf{1000000, 0.99};
+  Rng rng{2};
+  constexpr int kN = 200000;
+  int head = 0;
+  int top100 = 0;
+  for (int i = 0; i < kN; ++i) {
+    const std::uint64_t k = zipf.sample(rng);
+    head += k == 0 ? 1 : 0;
+    top100 += k < 100 ? 1 : 0;
+  }
+  // At theta=0.99 over 1M items, item 0 draws several percent of accesses
+  // and the top-100 a large fraction — the skew the paper exploits.
+  EXPECT_GT(static_cast<double>(head) / kN, 0.02);
+  EXPECT_GT(static_cast<double>(top100) / kN, 0.2);
+}
+
+TEST(Zipf, ZeroThetaIsUniform) {
+  ZipfGenerator zipf{10, 0.0};
+  Rng rng{3};
+  std::array<int, 10> counts{};
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    ++counts[zipf.sample(rng)];
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), kN / 10.0, kN * 0.015);
+  }
+}
+
+TEST(Zipf, RankFrequenciesDecrease) {
+  ZipfGenerator zipf{100, 0.9};
+  Rng rng{4};
+  std::array<int, 100> counts{};
+  for (int i = 0; i < 300000; ++i) {
+    ++counts[zipf.sample(rng)];
+  }
+  // Monotone on a coarse grid (individual adjacent ranks are noisy).
+  EXPECT_GT(counts[0], counts[9]);
+  EXPECT_GT(counts[9], counts[49]);
+  EXPECT_GT(counts[49], counts[99]);
+}
+
+TEST(Zipf, SingleItemAlwaysZero) {
+  ZipfGenerator zipf{1, 0.5};
+  Rng rng{5};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(zipf.sample(rng), 0U);
+  }
+}
+
+TEST(Zipf, RejectsBadParameters) {
+  EXPECT_THROW((void)ZipfGenerator(0, 0.5), CheckFailure);
+  EXPECT_THROW((void)ZipfGenerator(10, 1.0), CheckFailure);
+  EXPECT_THROW((void)ZipfGenerator(10, -0.1), CheckFailure);
+}
+
+// Skew sweep: frequency of the hottest item grows with theta.
+class ZipfSkewSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfSkewSweep, HotterThetaMeansHotterHead) {
+  ZipfGenerator zipf{10000, GetParam()};
+  Rng rng{6};
+  int head = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    head += zipf.sample(rng) == 0 ? 1 : 0;
+  }
+  const double f = static_cast<double>(head) / kN;
+  if (GetParam() < 0.1) {
+    EXPECT_LT(f, 0.001);
+  } else if (GetParam() > 0.9) {
+    EXPECT_GT(f, 0.02);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Thetas, ZipfSkewSweep,
+                         ::testing::Values(0.0, 0.5, 0.9, 0.99));
+
+}  // namespace
+}  // namespace netclone::kv
