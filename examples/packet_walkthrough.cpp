@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "sim/simulator.hpp"
 #include "core/netclone_program.hpp"
 #include "host/client.hpp"
 #include "host/server.hpp"

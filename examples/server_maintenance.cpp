@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "sim/simulator.hpp"
 #include "core/controller.hpp"
 #include "host/client.hpp"
 #include "host/server.hpp"

@@ -7,10 +7,10 @@
 
 namespace netclone::baselines {
 
-LaedgeCoordinator::LaedgeCoordinator(sim::Simulator& simulator,
+LaedgeCoordinator::LaedgeCoordinator(sim::Scheduler& scheduler,
                                      LaedgeParams params, Rng rng)
     : phys::Node("laedge-coordinator"),
-      sim_(simulator),
+      sim_(scheduler),
       params_(std::move(params)),
       rng_(rng),
       my_ip_(host::coordinator_ip()),

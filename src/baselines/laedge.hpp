@@ -23,7 +23,7 @@
 #include "common/types.hpp"
 #include "host/addressing.hpp"
 #include "phys/node.hpp"
-#include "sim/simulator.hpp"
+#include "sim/scheduler.hpp"
 #include "wire/frame.hpp"
 
 namespace netclone::baselines {
@@ -61,7 +61,7 @@ struct LaedgeStats {
 
 class LaedgeCoordinator : public phys::Node {
  public:
-  LaedgeCoordinator(sim::Simulator& simulator, LaedgeParams params, Rng rng);
+  LaedgeCoordinator(sim::Scheduler& scheduler, LaedgeParams params, Rng rng);
 
   void handle_frame(std::size_t port, wire::Frame frame) override;
 
@@ -94,7 +94,7 @@ class LaedgeCoordinator : public phys::Node {
   /// the work completes.
   SimTime charge_cpu();
 
-  sim::Simulator& sim_;
+  sim::Scheduler& sim_;
   LaedgeParams params_;
   Rng rng_;
   wire::Ipv4Address my_ip_;

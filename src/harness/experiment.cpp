@@ -4,6 +4,7 @@
 
 #include "common/check.hpp"
 #include "core/groups.hpp"
+#include "sim/simulator.hpp"
 
 namespace netclone::harness {
 
@@ -48,6 +49,12 @@ Experiment::Experiment(ClusterConfig config)
 }
 
 Experiment::~Experiment() = default;
+
+sim::Scheduler& Experiment::scheduler() { return *sim_; }
+
+std::uint64_t Experiment::executed_events() const {
+  return sim_->executed_events();
+}
 
 void Experiment::build() {
   sim_ = std::make_unique<sim::Simulator>();

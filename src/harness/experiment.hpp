@@ -20,7 +20,11 @@
 #include "host/server.hpp"
 #include "phys/topology.hpp"
 #include "pisa/switch_device.hpp"
-#include "sim/simulator.hpp"
+#include "sim/scheduler.hpp"
+
+namespace netclone::sim {
+class Simulator;  // the concrete engine; only experiment.cpp runs it
+}  // namespace netclone::sim
 
 namespace netclone::harness {
 
@@ -115,7 +119,11 @@ class Experiment {
   /// brief reconfiguration loss a real deployment would also see.
   void remove_server(ServerId sid);
 
-  [[nodiscard]] sim::Simulator& simulator() { return *sim_; }
+  /// Scheduling surface of the engine, for tests/benches that inject
+  /// events (failures, reconfigurations) into a run.
+  [[nodiscard]] sim::Scheduler& scheduler();
+  /// Engine telemetry: events executed so far (determinism fingerprint).
+  [[nodiscard]] std::uint64_t executed_events() const;
   [[nodiscard]] pisa::SwitchDevice& tor() { return *switch_; }
   [[nodiscard]] const ClusterConfig& config() const { return config_; }
   [[nodiscard]] const std::vector<host::Server*>& servers() const {

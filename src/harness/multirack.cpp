@@ -2,6 +2,7 @@
 
 #include "common/check.hpp"
 #include "core/groups.hpp"
+#include "sim/simulator.hpp"
 
 namespace netclone::harness {
 
@@ -16,6 +17,8 @@ MultiRackExperiment::MultiRackExperiment(MultiRackConfig config)
 }
 
 MultiRackExperiment::~MultiRackExperiment() = default;
+
+sim::Scheduler& MultiRackExperiment::scheduler() { return *sim_; }
 
 void MultiRackExperiment::build() {
   sim_ = std::make_unique<sim::Simulator>();

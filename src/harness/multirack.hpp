@@ -65,7 +65,7 @@ class MultiRackExperiment {
   [[nodiscard]] const std::vector<host::Client*>& clients() const {
     return clients_;
   }
-  [[nodiscard]] sim::Simulator& simulator() { return *sim_; }
+  [[nodiscard]] sim::Scheduler& scheduler();
 
  private:
   void build();

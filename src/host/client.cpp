@@ -6,15 +6,16 @@
 
 namespace netclone::host {
 
-Client::Client(sim::Simulator& simulator, ClientParams params,
+Client::Client(sim::Scheduler& scheduler, ClientParams params,
                std::shared_ptr<RequestFactory> factory, Rng rng)
     : phys::Node("client-" + std::to_string(params.client_id)),
-      sim_(simulator),
+      sim_(scheduler),
       params_(params),
       factory_(std::move(factory)),
       rng_(rng),
       my_ip_(client_ip(params.client_id)),
-      my_mac_(wire::MacAddress::from_node(0x0200U + params.client_id)) {
+      my_mac_(wire::MacAddress::from_node(0x0200U + params.client_id)),
+      arrival_timer_(scheduler, [this] { on_arrival(); }) {
   NETCLONE_CHECK(params_.rate_rps > 0.0, "client rate must be positive");
   NETCLONE_CHECK(params_.num_filter_tables > 0, "need >= 1 filter table");
   NETCLONE_CHECK(params_.request_fragments >= 1, "need >= 1 fragment");
@@ -41,7 +42,7 @@ void Client::start() {
   }
   burst_on_until_ = params_.start_at;  // first ON window opens lazily
   const SimTime first = next_arrival_time();
-  sim_.schedule_at(std::max(first, sim_.now()), [this] { on_arrival(); });
+  arrival_timer_.arm_at(std::max(first, sim_.now()));
 }
 
 SimTime Client::next_arrival_time() {
@@ -76,7 +77,7 @@ void Client::schedule_next_arrival() {
   if (next >= params_.stop_at) {
     return;  // sending window over; the receiver keeps draining
   }
-  sim_.schedule_at(next, [this] { on_arrival(); });
+  arrival_timer_.arm_at(next);
 }
 
 void Client::issue_request() {
@@ -149,20 +150,26 @@ void Client::arm_retransmit_timer(std::uint32_t client_seq) {
   if (params_.retransmit_timeout <= SimTime::zero()) {
     return;
   }
-  sim_.schedule_after(params_.retransmit_timeout, [this, client_seq] {
-    auto it = outstanding_.find(client_seq);
-    if (it == outstanding_.end() || it->second.completed) {
-      return;
-    }
-    Pending& pending = it->second;
-    if (pending.retries >= params_.max_retransmits) {
-      return;  // give up; the request stays incomplete
-    }
-    ++pending.retries;
-    ++stats_.retransmissions;
-    send_all_packets(pending, client_seq);
-    arm_retransmit_timer(client_seq);
-  });
+  auto armed = outstanding_.find(client_seq);
+  if (armed == outstanding_.end()) {
+    return;
+  }
+  armed->second.retransmit_event =
+      sim_.schedule_after(params_.retransmit_timeout, [this, client_seq] {
+        auto it = outstanding_.find(client_seq);
+        if (it == outstanding_.end() || it->second.completed) {
+          return;
+        }
+        Pending& pending = it->second;
+        pending.retransmit_event = sim::EventId{};
+        if (pending.retries >= params_.max_retransmits) {
+          return;  // give up; the request stays incomplete
+        }
+        ++pending.retries;
+        ++stats_.retransmissions;
+        send_all_packets(pending, client_seq);
+        arm_retransmit_timer(client_seq);
+      });
 }
 
 void Client::emit_request(const wire::RpcRequest& req, wire::Ipv4Address dst,
@@ -277,6 +284,10 @@ void Client::on_response_processed(wire::Packet pkt) {
     return;  // waiting for the remaining fragments
   }
   pending.completed = true;
+  // The retransmit timeout is dead weight now — O(1)-cancel it so the
+  // engine truly removes the event instead of firing a no-op later.
+  sim_.cancel(pending.retransmit_event);
+  pending.retransmit_event = sim::EventId{};
   ++stats_.completed;
   if (params_.mode == SendMode::kCClone && params_.cclone_cancel) {
     send_cancel(pending, nc.client_seq, pkt.ip.src);

@@ -20,7 +20,7 @@
 #include "host/addressing.hpp"
 #include "host/workload.hpp"
 #include "phys/node.hpp"
-#include "sim/simulator.hpp"
+#include "sim/scheduler.hpp"
 #include "wire/frame.hpp"
 
 namespace netclone::host {
@@ -129,7 +129,7 @@ struct ClientStats {
 
 class Client : public phys::Node {
  public:
-  Client(sim::Simulator& simulator, ClientParams params,
+  Client(sim::Scheduler& scheduler, ClientParams params,
          std::shared_ptr<RequestFactory> factory, Rng rng);
 
   /// Schedules the first send; call once after topology wiring.
@@ -164,6 +164,9 @@ class Client : public phys::Node {
     std::uint32_t server_service_ns = 0;
     /// C-Clone: the two chosen workers, for targeted cancellation.
     std::array<wire::Ipv4Address, 2> cclone_dsts{};
+    /// Pending retransmit timeout (TCP mode); cancelled on completion so
+    /// the event — and the closure it holds — is freed immediately.
+    sim::EventId retransmit_event{};
   };
 
   void issue_request();
@@ -179,13 +182,15 @@ class Client : public phys::Node {
   void arm_retransmit_timer(std::uint32_t client_seq);
   void on_response_processed(wire::Packet pkt);
 
-  sim::Simulator& sim_;
+  sim::Scheduler& sim_;
   ClientParams params_;
   std::shared_ptr<RequestFactory> factory_;
   Rng rng_;
   wire::Ipv4Address my_ip_;
   wire::MacAddress my_mac_;
 
+  /// Open-loop arrival pacing: rearmed from its own callback.
+  sim::Timer arrival_timer_;
   SimTime tx_busy_until_ = SimTime::zero();
   SimTime rx_busy_until_ = SimTime::zero();
   SimTime burst_on_until_ = SimTime::zero();  // end of the current ON window

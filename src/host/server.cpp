@@ -6,10 +6,10 @@
 
 namespace netclone::host {
 
-Server::Server(sim::Simulator& simulator, ServerParams params,
+Server::Server(sim::Scheduler& scheduler, ServerParams params,
                std::shared_ptr<ServiceModel> service, Rng rng)
     : phys::Node("server-" + std::to_string(value_of(params.sid))),
-      sim_(simulator),
+      sim_(scheduler),
       params_(params),
       service_(std::move(service)),
       rng_(rng),

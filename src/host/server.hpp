@@ -19,7 +19,7 @@
 #include "host/addressing.hpp"
 #include "host/service.hpp"
 #include "phys/node.hpp"
-#include "sim/simulator.hpp"
+#include "sim/scheduler.hpp"
 #include "wire/frame.hpp"
 
 namespace netclone::host {
@@ -82,7 +82,7 @@ struct ServerStats {
 
 class Server : public phys::Node {
  public:
-  Server(sim::Simulator& simulator, ServerParams params,
+  Server(sim::Scheduler& scheduler, ServerParams params,
          std::shared_ptr<ServiceModel> service, Rng rng);
 
   void handle_frame(std::size_t port, wire::Frame frame) override;
@@ -114,7 +114,7 @@ class Server : public phys::Node {
   void send_response_fragment(const wire::Packet& resp,
                               std::uint8_t frag_idx);
 
-  sim::Simulator& sim_;
+  sim::Scheduler& sim_;
   ServerParams params_;
   std::shared_ptr<ServiceModel> service_;
   Rng rng_;

@@ -7,8 +7,8 @@
 
 namespace netclone::phys {
 
-Link::Link(sim::Simulator& simulator, LinkParams params)
-    : sim_(simulator), params_(params) {
+Link::Link(sim::Scheduler& scheduler, LinkParams params)
+    : sim_(scheduler), params_(params) {
   NETCLONE_CHECK(params_.rate_bps > 0.0, "link rate must be positive");
 }
 

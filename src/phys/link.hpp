@@ -10,7 +10,7 @@
 
 #include <cstdint>
 
-#include "sim/simulator.hpp"
+#include "sim/scheduler.hpp"
 #include "wire/bytes.hpp"
 
 namespace netclone::phys {
@@ -34,7 +34,7 @@ struct LinkStats {
 
 class Link {
  public:
-  Link(sim::Simulator& simulator, LinkParams params);
+  Link(sim::Scheduler& scheduler, LinkParams params);
 
   Link(const Link&) = delete;
   Link& operator=(const Link&) = delete;
@@ -57,7 +57,7 @@ class Link {
  private:
   [[nodiscard]] SimTime serialization_time(std::size_t bytes) const;
 
-  sim::Simulator& sim_;
+  sim::Scheduler& sim_;
   LinkParams params_;
   Node* dst_ = nullptr;
   std::size_t dst_port_ = 0;

@@ -6,10 +6,10 @@
 
 namespace netclone::pisa {
 
-SwitchDevice::SwitchDevice(sim::Simulator& simulator, std::string name,
+SwitchDevice::SwitchDevice(sim::Scheduler& scheduler, std::string name,
                            SwitchParams params)
     : phys::Node(std::move(name)),
-      sim_(simulator),
+      sim_(scheduler),
       params_(params),
       pipeline_(params.stage_count) {}
 

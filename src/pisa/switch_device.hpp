@@ -11,7 +11,7 @@
 #include "phys/node.hpp"
 #include "pisa/pipeline.hpp"
 #include "pisa/program.hpp"
-#include "sim/simulator.hpp"
+#include "sim/scheduler.hpp"
 
 namespace netclone::pisa {
 
@@ -36,7 +36,7 @@ struct SwitchStats {
 
 class SwitchDevice : public phys::Node {
  public:
-  SwitchDevice(sim::Simulator& simulator, std::string name,
+  SwitchDevice(sim::Scheduler& scheduler, std::string name,
                SwitchParams params = {});
 
   /// Installs the ingress program. The program's resources must have been
@@ -75,7 +75,7 @@ class SwitchDevice : public phys::Node {
   void process(std::size_t port, wire::Frame frame, bool recirculated);
   void emit(std::size_t port, const wire::Packet& pkt);
 
-  sim::Simulator& sim_;
+  sim::Scheduler& sim_;
   SwitchParams params_;
   Pipeline pipeline_;
   std::shared_ptr<SwitchProgram> program_;

@@ -1,0 +1,202 @@
+// Slot-map event storage for the discrete-event engine.
+//
+// Every pending event lives in a fixed slot (stable until it fires or is
+// cancelled); a binary heap of 24-byte (when, seq, slot) entries orders
+// them. Cancellation frees the slot — destroying the callback and its
+// captures immediately — in O(1) and leaves the heap entry behind as a
+// tombstone that pop/peek skip when its sequence number no longer matches
+// the slot. Generation counters make stale EventIds inert even after the
+// slot has been reused.
+//
+// Defined header-only: the schedule/fire cycle is the hottest loop in the
+// repository and must inline into the engine's run loop.
+//
+// This file is an engine internal: components schedule through the
+// Scheduler interface (scheduler.hpp) and never see the arena.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+#include "sim/scheduler.hpp"
+
+namespace netclone::sim {
+
+class EventArena {
+ public:
+  EventArena() = default;
+  EventArena(const EventArena&) = delete;
+  EventArena& operator=(const EventArena&) = delete;
+
+  /// Stores an event and orders it behind everything earlier (ties break
+  /// by insertion order — the determinism contract).
+  EventId insert(SimTime when, EventCallback&& callback) {
+    std::uint32_t index;
+    if (free_head_ != kNilSlot) {
+      index = free_head_;
+      free_head_ = slots_[index].next_free;
+    } else {
+      NETCLONE_CHECK(slots_.size() < kMaxSlots, "event arena exhausted");
+      index = static_cast<std::uint32_t>(slots_.size());
+      slots_.emplace_back();
+    }
+    NETCLONE_CHECK(next_seq_ < kMaxSeq, "event sequence space exhausted");
+    Slot& slot = slots_[index];
+    slot.key = (next_seq_++ << kSlotBits) | index;
+    slot.live = true;
+    slot.callback = std::move(callback);
+
+    heap_.push_back(HeapEntry{when, slot.key});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+    ++live_;
+    return EventId{index, slot.generation};
+  }
+
+  /// Removes the event and destroys its callback. Returns false (no-op)
+  /// for invalid, stale, fired, or already-cancelled ids.
+  bool cancel(EventId id) {
+    if (!id.valid() || id.slot >= slots_.size()) {
+      return false;
+    }
+    Slot& slot = slots_[id.slot];
+    if (!slot.live || slot.generation != id.generation) {
+      return false;  // already fired/cancelled, or the slot was reused
+    }
+    // The heap entry stays behind as a tombstone (its seq no longer
+    // matches a live slot) and is skipped by prune_stale_top on the way
+    // out.
+    release(id.slot);
+    return true;
+  }
+
+  /// Time of the earliest pending event, without removing it. Returns
+  /// false when no event is pending.
+  [[nodiscard]] bool peek(SimTime& when) {
+    prune_stale_top();
+    if (heap_.empty()) {
+      return false;
+    }
+    when = heap_.front().when;
+    return true;
+  }
+
+  /// Removes the earliest pending event into `when`/`callback`. Returns
+  /// false when no event is pending.
+  bool pop(SimTime& when, EventCallback& callback) {
+    prune_stale_top();
+    if (heap_.empty()) {
+      return false;
+    }
+    const std::uint32_t slot = slot_of(heap_.front().key);
+    when = heap_.front().when;
+    pop_min();
+
+    callback = std::move(slots_[slot].callback);
+    release(slot);
+    return true;
+  }
+
+  /// pop(), but only if the earliest event fires at or before `deadline`.
+  /// One heap inspection for the peek-then-pop pattern in run_until().
+  bool pop_due(SimTime deadline, SimTime& when, EventCallback& callback) {
+    prune_stale_top();
+    if (heap_.empty() || heap_.front().when > deadline) {
+      return false;
+    }
+    const std::uint32_t slot = slot_of(heap_.front().key);
+    when = heap_.front().when;
+    pop_min();
+
+    callback = std::move(slots_[slot].callback);
+    release(slot);
+    return true;
+  }
+
+  /// Exact number of pending events (cancelled events do not count).
+  [[nodiscard]] std::size_t size() const { return live_; }
+  [[nodiscard]] bool empty() const { return live_ == 0; }
+
+ private:
+  static constexpr std::uint32_t kNilSlot = 0xFFFFFFFFU;
+  /// (seq, slot) pack into one 64-bit heap key: seq in the high 40 bits
+  /// (hard-checked in insert — at 15M events/sec that is ~20 hours of
+  /// wall-clock simulation before the check fires), slot index in the low
+  /// 24. A 16-byte heap entry instead of 24 cuts a third of the cache
+  /// traffic out of every sift, which is where the engine's time goes
+  /// once the queue outgrows L1.
+  static constexpr std::uint64_t kSlotBits = 24;
+  static constexpr std::uint64_t kMaxSlots = 1ULL << kSlotBits;
+  static constexpr std::uint64_t kMaxSeq = 1ULL << (64 - kSlotBits);
+
+  static constexpr std::uint32_t slot_of(std::uint64_t key) {
+    return static_cast<std::uint32_t>(key & (kMaxSlots - 1));
+  }
+
+  struct Slot {
+    std::uint64_t key = 0;
+    std::uint32_t generation = 1;
+    std::uint32_t next_free = kNilSlot;
+    bool live = false;
+    EventCallback callback;
+  };
+
+  struct HeapEntry {
+    SimTime when;
+    std::uint64_t key;
+  };
+
+  /// Max-heap comparator on "fires later", making the std heap a min-heap
+  /// on (when, key). The key's high bits are the globally unique
+  /// scheduling sequence number, so same-time events keep insertion order
+  /// (the determinism contract) and the order is strict.
+  struct Later {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.key > b.key;
+    }
+  };
+
+  /// Removes the top heap entry (the caller has already consumed it).
+  void pop_min() {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
+  }
+
+  /// Pops tombstones (entries whose slot was cancelled and possibly
+  /// reused) off the top of the heap. A slot's key changes on every
+  /// reuse, so entry.key identifies the exact scheduling it came from.
+  void prune_stale_top() {
+    while (!heap_.empty()) {
+      const HeapEntry& top = heap_.front();
+      const Slot& slot = slots_[slot_of(top.key)];
+      if (slot.live && slot.key == top.key) {
+        return;
+      }
+      pop_min();
+    }
+  }
+
+  void release(std::uint32_t slot_index) {
+    Slot& slot = slots_[slot_index];
+    slot.callback.reset();  // free captured resources immediately
+    slot.live = false;
+    ++slot.generation;  // stale EventIds and heap entries go inert
+    slot.next_free = free_head_;
+    free_head_ = slot_index;
+    --live_;
+  }
+
+  std::vector<Slot> slots_;
+  std::vector<HeapEntry> heap_;
+  std::uint32_t free_head_ = kNilSlot;
+  std::uint64_t next_seq_ = 0;
+  std::size_t live_ = 0;
+};
+
+}  // namespace netclone::sim

@@ -1,0 +1,32 @@
+#include "sim/scheduler.hpp"
+
+namespace netclone::sim {
+
+void Timer::arm_at(SimTime when) {
+  NETCLONE_CHECK(state_ != nullptr, "arming an unbound timer");
+  cancel();
+  State* s = state_.get();
+  s->pending = s->scheduler.schedule_at(when, [s] {
+    // Disarm before invoking so the callback may rearm (periodic timers)
+    // and so cancel() after the fire is a no-op.
+    s->armed = false;
+    s->pending = EventId{};
+    s->callback();
+  });
+  s->armed = true;
+}
+
+void Timer::arm_after(SimTime delay) {
+  NETCLONE_CHECK(state_ != nullptr, "arming an unbound timer");
+  arm_at(state_->scheduler.now() + delay);
+}
+
+void Timer::cancel() {
+  if (state_ != nullptr && state_->armed) {
+    state_->scheduler.cancel(state_->pending);
+    state_->armed = false;
+    state_->pending = EventId{};
+  }
+}
+
+}  // namespace netclone::sim

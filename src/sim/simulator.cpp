@@ -1,53 +1,6 @@
 #include "sim/simulator.hpp"
 
-#include <utility>
-
 namespace netclone::sim {
-
-EventId Simulator::schedule_at(SimTime when, Action action) {
-  NETCLONE_CHECK(when >= now_, "cannot schedule an event in the past");
-  const std::uint64_t seq = next_seq_++;
-  queue_.push(Event{when, seq, std::move(action)});
-  return EventId{seq};
-}
-
-EventId Simulator::schedule_after(SimTime delay, Action action) {
-  NETCLONE_CHECK(delay >= SimTime::zero(), "negative delay");
-  return schedule_at(now_ + delay, std::move(action));
-}
-
-void Simulator::cancel(EventId id) {
-  cancelled_.insert(static_cast<std::uint64_t>(id));
-}
-
-bool Simulator::pop_one(Event& out) {
-  while (!queue_.empty()) {
-    // priority_queue::top() is const; the action must be moved out, so we
-    // const_cast the known-mutable element before pop. This is the standard
-    // idiom for move-only payloads in a priority_queue.
-    Event& top = const_cast<Event&>(queue_.top());
-    Event ev{top.when, top.seq, std::move(top.action)};
-    queue_.pop();
-    if (auto it = cancelled_.find(ev.seq); it != cancelled_.end()) {
-      cancelled_.erase(it);
-      continue;
-    }
-    out = std::move(ev);
-    return true;
-  }
-  return false;
-}
-
-bool Simulator::step() {
-  Event ev;
-  if (!pop_one(ev)) {
-    return false;
-  }
-  now_ = ev.when;
-  ++executed_;
-  ev.action();
-  return true;
-}
 
 void Simulator::run() {
   stopped_ = false;
@@ -57,19 +10,12 @@ void Simulator::run() {
 
 void Simulator::run_until(SimTime deadline) {
   stopped_ = false;
-  while (!stopped_) {
-    Event ev;
-    if (!pop_one(ev)) {
-      break;
-    }
-    if (ev.when > deadline) {
-      // Put it back: it belongs to the future beyond this run.
-      queue_.push(std::move(ev));
-      break;
-    }
-    now_ = ev.when;
+  SimTime when;
+  EventCallback action;
+  while (!stopped_ && events_.pop_due(deadline, when, action)) {
+    now_ = when;
     ++executed_;
-    ev.action();
+    action();
   }
   if (now_ < deadline) {
     now_ = deadline;

@@ -1,46 +1,46 @@
 // Deterministic discrete-event simulation engine.
 //
-// This is the time base substituting for the paper's physical testbed. All
+// This is the time base substituting for the paper's physical testbed; all
 // latency numbers in the reproduction are measured on this clock. Events at
 // the same timestamp execute in scheduling order (a monotonically increasing
 // sequence number breaks ties), which makes every run bit-for-bit
 // reproducible for a given seed.
+//
+// Only the owner of the event loop (the harness, tests, benches) includes
+// this header. Components schedule through the Scheduler interface in
+// scheduler.hpp; event storage is the slot-map arena in event_arena.hpp,
+// giving O(1) cancellation that truly removes the event and an exact
+// pending_events() count.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
-#include <vector>
+#include <utility>
 
 #include "common/check.hpp"
 #include "common/types.hpp"
+#include "sim/event_arena.hpp"
+#include "sim/scheduler.hpp"
 
 namespace netclone::sim {
 
-/// Opaque handle for cancelling a scheduled event.
-enum class EventId : std::uint64_t {};
-
-class Simulator {
+class Simulator final : public Scheduler {
  public:
-  using Action = std::function<void()>;
-
   Simulator() = default;
-  Simulator(const Simulator&) = delete;
-  Simulator& operator=(const Simulator&) = delete;
 
   /// Current simulated time.
-  [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] SimTime now() const override { return now_; }
 
   /// Schedules `action` at absolute time `when` (must not be in the past).
-  EventId schedule_at(SimTime when, Action action);
+  // Defined inline (as are cancel and step): the schedule/fire cycle must
+  // inline into the caller when the concrete engine type is known.
+  EventId schedule_at(SimTime when, EventCallback action) override {
+    NETCLONE_CHECK(when >= now_, "cannot schedule an event in the past");
+    return events_.insert(when, std::move(action));
+  }
 
-  /// Schedules `action` after `delay` (must be non-negative).
-  EventId schedule_after(SimTime delay, Action action);
-
-  /// Cancels a pending event. Cancelling an already-fired or already-
-  /// cancelled event is a harmless no-op.
-  void cancel(EventId id);
+  /// Cancels a pending event in O(1), destroying its callback. Cancelling
+  /// an already-fired or already-cancelled event is a harmless no-op.
+  void cancel(EventId id) override { events_.cancel(id); }
 
   /// Runs events until the queue empties or `stop()` is called.
   void run();
@@ -50,43 +50,30 @@ class Simulator {
   void run_until(SimTime deadline);
 
   /// Executes the single earliest event. Returns false if none is pending.
-  bool step();
+  bool step() {
+    SimTime when;
+    EventCallback action;
+    if (!events_.pop(when, action)) {
+      return false;
+    }
+    now_ = when;
+    ++executed_;
+    action();
+    return true;
+  }
 
   /// Requests run()/run_until() to return after the current event.
   void stop() { stopped_ = true; }
 
-  [[nodiscard]] std::size_t pending_events() const {
-    // cancelled_ may hold ids of events that already fired (cancelling a
-    // fired event is allowed), so guard the subtraction.
-    return queue_.size() >= cancelled_.size()
-               ? queue_.size() - cancelled_.size()
-               : 0;
-  }
+  /// Exact count of pending (scheduled, not yet fired or cancelled) events.
+  [[nodiscard]] std::size_t pending_events() const { return events_.size(); }
 
   /// Total events executed since construction (telemetry).
   [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
 
  private:
-  struct Event {
-    SimTime when;
-    std::uint64_t seq;
-    Action action;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.when != b.when) {
-        return a.when > b.when;
-      }
-      return a.seq > b.seq;
-    }
-  };
-
-  [[nodiscard]] bool pop_one(Event& out);
-
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::unordered_set<std::uint64_t> cancelled_;
+  EventArena events_;
   SimTime now_ = SimTime::zero();
-  std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
   bool stopped_ = false;
 };

@@ -3,6 +3,7 @@
 // bursts deepen queues, cloning masks part of the damage.
 #include <gtest/gtest.h>
 
+#include "sim/simulator.hpp"
 #include "harness/experiment.hpp"
 #include "host/client.hpp"
 #include "host/service.hpp"

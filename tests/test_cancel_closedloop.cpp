@@ -2,6 +2,7 @@
 // pacing mode.
 #include <gtest/gtest.h>
 
+#include "sim/simulator.hpp"
 #include "harness/experiment.hpp"
 #include "host/client.hpp"
 #include "host/server.hpp"

@@ -1,3 +1,4 @@
+#include "sim/simulator.hpp"
 #include "core/controller.hpp"
 
 #include <gtest/gtest.h>

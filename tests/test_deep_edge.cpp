@@ -3,6 +3,7 @@
 // and whole-cluster determinism for every scheme.
 #include <gtest/gtest.h>
 
+#include "sim/simulator.hpp"
 #include "core/netclone_program.hpp"
 #include "harness/experiment.hpp"
 #include "host/server.hpp"

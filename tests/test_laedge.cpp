@@ -1,3 +1,4 @@
+#include "sim/simulator.hpp"
 #include "baselines/laedge.hpp"
 
 #include <gtest/gtest.h>

@@ -1,6 +1,7 @@
 // Odds and ends: branches not reached by the focused suites.
 #include <gtest/gtest.h>
 
+#include "sim/simulator.hpp"
 #include "baselines/laedge.hpp"
 #include "baselines/racksched_program.hpp"
 #include "common/histogram.hpp"

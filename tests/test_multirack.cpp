@@ -3,6 +3,7 @@
 // server-side ToR must recognize the foreign stamp and only route.
 #include <gtest/gtest.h>
 
+#include "sim/simulator.hpp"
 #include "baselines/agg_router.hpp"
 #include "core/netclone_program.hpp"
 #include "host/client.hpp"

@@ -1,3 +1,4 @@
+#include "sim/simulator.hpp"
 #include "host/server.hpp"
 
 #include <gtest/gtest.h>

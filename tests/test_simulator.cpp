@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <utility>
 #include <vector>
 
 namespace netclone::sim {
@@ -145,6 +149,97 @@ TEST(Simulator, PendingEventsTracksCancellations) {
   EXPECT_EQ(sim.pending_events(), 2U);
   sim.cancel(a);
   EXPECT_EQ(sim.pending_events(), 1U);
+}
+
+TEST(Simulator, PendingEventsIsExactAcrossTheEventLifecycle) {
+  Simulator sim;
+  int fired = 0;
+  const EventId a = sim.schedule_at(1_ns, [&] { ++fired; });
+  const EventId b = sim.schedule_at(2_ns, [&] { ++fired; });
+  sim.schedule_at(3_ns, [&] { ++fired; });
+  EXPECT_EQ(sim.pending_events(), 3U);
+
+  sim.cancel(b);  // cancellation is removal, not deferred bookkeeping
+  EXPECT_EQ(sim.pending_events(), 2U);
+
+  EXPECT_TRUE(sim.step());  // fires a
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.pending_events(), 1U);
+
+  sim.cancel(b);  // re-cancelling the cancelled event: no change
+  EXPECT_EQ(sim.pending_events(), 1U);
+  sim.cancel(a);  // cancelling the fired event: no change
+  EXPECT_EQ(sim.pending_events(), 1U);
+
+  sim.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.pending_events(), 0U);
+}
+
+TEST(Simulator, StaleIdCannotCancelAnEventReusingItsStorage) {
+  Simulator sim;
+  bool a_fired = false;
+  bool b_fired = false;
+  const EventId a = sim.schedule_at(10_ns, [&] { a_fired = true; });
+  sim.cancel(a);
+  // b is free to reuse a's storage; a's handle must stay inert.
+  sim.schedule_at(10_ns, [&] { b_fired = true; });
+  sim.cancel(a);
+  sim.run();
+  EXPECT_FALSE(a_fired);
+  EXPECT_TRUE(b_fired);
+}
+
+TEST(Simulator, CancelFromWithinACallback) {
+  Simulator sim;
+  bool fired = false;
+  const EventId doomed = sim.schedule_at(2_ns, [&] { fired = true; });
+  sim.schedule_at(1_ns, [&] { sim.cancel(doomed); });
+  sim.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.executed_events(), 1U);
+}
+
+TEST(Simulator, CancelDestroysTheCallbackImmediately) {
+  Simulator sim;
+  auto token = std::make_shared<int>(7);
+  const EventId id = sim.schedule_at(10_ns, [token] { (void)*token; });
+  EXPECT_EQ(token.use_count(), 2);
+  sim.cancel(id);
+  // The capture is released at cancel time, not when the queue drains.
+  EXPECT_EQ(token.use_count(), 1);
+}
+
+TEST(Simulator, OversizedCapturesFallBackToTheHeap) {
+  Simulator sim;
+  std::array<std::uint64_t, 32> big{};  // 256 bytes, past inline capacity
+  big.back() = 42;
+  std::uint64_t seen = 0;
+  sim.schedule_at(1_ns, [big, &seen] { seen = big.back(); });
+  sim.run();
+  EXPECT_EQ(seen, 42U);
+}
+
+TEST(Simulator, MoveOnlyCapturesAreSupported) {
+  // std::function cannot hold this; EventCallback must.
+  Simulator sim;
+  auto payload = std::make_unique<int>(9);
+  int seen = 0;
+  sim.schedule_at(1_ns,
+                  [p = std::move(payload), &seen] { seen = *p; });
+  sim.run();
+  EXPECT_EQ(seen, 9);
+}
+
+TEST(Simulator, DefaultEventIdIsInvalidAndHarmless) {
+  Simulator sim;
+  EXPECT_FALSE(EventId{}.valid());
+  sim.cancel(EventId{});  // no-op
+  bool fired = false;
+  const EventId id = sim.schedule_at(1_ns, [&] { fired = true; });
+  EXPECT_TRUE(id.valid());
+  sim.run();
+  EXPECT_TRUE(fired);
 }
 
 TEST(Simulator, DeterministicAcrossRuns) {

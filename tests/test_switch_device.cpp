@@ -1,3 +1,4 @@
+#include "sim/simulator.hpp"
 #include "pisa/switch_device.hpp"
 
 #include <gtest/gtest.h>

@@ -1,0 +1,125 @@
+// Rearm semantics of sim::Timer: the cancel-and-rearm contract that the
+// client's arrival pacing and retransmit timeouts are built on.
+#include "sim/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace netclone::sim {
+namespace {
+
+using namespace netclone::literals;
+
+TEST(Timer, FiresOnceAtTheArmedTime) {
+  Simulator sim;
+  std::vector<SimTime> fired;
+  Timer timer(sim, [&] { fired.push_back(sim.now()); });
+  timer.arm_at(10_ns);
+  EXPECT_TRUE(timer.armed());
+  sim.run();
+  EXPECT_EQ(fired, (std::vector<SimTime>{10_ns}));
+  EXPECT_FALSE(timer.armed());  // one-shot: no rearm unless asked
+}
+
+TEST(Timer, ArmAfterUsesCurrentTime) {
+  Simulator sim;
+  SimTime fired = SimTime::zero();
+  Timer timer(sim, [&] { fired = sim.now(); });
+  sim.schedule_at(10_ns, [&] { timer.arm_after(5_ns); });
+  sim.run();
+  EXPECT_EQ(fired, 15_ns);
+}
+
+TEST(Timer, CancelBeforeFirePreventsTheCallback) {
+  Simulator sim;
+  int fired = 0;
+  Timer timer(sim, [&] { ++fired; });
+  timer.arm_at(10_ns);
+  timer.cancel();
+  EXPECT_FALSE(timer.armed());
+  sim.run();
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(sim.pending_events(), 0U);  // truly removed, not deferred
+}
+
+TEST(Timer, CancelAfterFireIsANoOp) {
+  Simulator sim;
+  int fired = 0;
+  Timer timer(sim, [&] { ++fired; });
+  timer.arm_at(10_ns);
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  timer.cancel();  // must not throw, corrupt, or un-fire anything
+  EXPECT_FALSE(timer.armed());
+  timer.arm_at(20_ns);  // and the timer stays usable
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Timer, RearmFromInsideTheCallbackMakesAPeriodicTimer) {
+  Simulator sim;
+  std::vector<SimTime> fired;
+  std::optional<Timer> timer;
+  timer.emplace(sim, [&] {
+    fired.push_back(sim.now());
+    if (fired.size() < 3) {
+      timer->arm_after(10_ns);  // the timer disarms before invoking us
+    }
+  });
+  timer->arm_at(10_ns);
+  sim.run();
+  EXPECT_EQ(fired, (std::vector<SimTime>{10_ns, 20_ns, 30_ns}));
+}
+
+TEST(Timer, RearmReplacesThePendingExpiry) {
+  Simulator sim;
+  std::vector<SimTime> fired;
+  Timer timer(sim, [&] { fired.push_back(sim.now()); });
+  timer.arm_at(10_ns);
+  timer.arm_at(25_ns);  // replaces, does not add
+  EXPECT_EQ(sim.pending_events(), 1U);
+  sim.run();
+  EXPECT_EQ(fired, (std::vector<SimTime>{25_ns}));
+}
+
+TEST(Timer, DestructionCancelsThePendingExpiry) {
+  Simulator sim;
+  int fired = 0;
+  {
+    Timer timer(sim, [&] { ++fired; });
+    timer.arm_at(10_ns);
+  }
+  sim.run();
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(sim.pending_events(), 0U);
+}
+
+TEST(Timer, MovedTimerKeepsItsScheduledExpiry) {
+  Simulator sim;
+  int fired = 0;
+  Timer original(sim, [&] { ++fired; });
+  original.arm_at(10_ns);
+  Timer moved = std::move(original);
+  EXPECT_TRUE(moved.armed());
+  EXPECT_FALSE(original.bound());  // NOLINT(bugprone-use-after-move)
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  // Destroying the moved-from shell must not cancel anything (above), and
+  // destroying the live one after fire is equally quiet.
+}
+
+TEST(Timer, UnboundTimerRejectsArming) {
+  Timer timer;
+  EXPECT_FALSE(timer.bound());
+  EXPECT_FALSE(timer.armed());
+  timer.cancel();  // harmless
+  EXPECT_THROW(timer.arm_at(10_ns), CheckFailure);
+}
+
+}  // namespace
+}  // namespace netclone::sim

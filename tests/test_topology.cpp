@@ -1,3 +1,4 @@
+#include "sim/simulator.hpp"
 #include "phys/topology.hpp"
 
 #include <gtest/gtest.h>
