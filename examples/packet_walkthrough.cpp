@@ -33,9 +33,11 @@ class TapSwitch : public pisa::SwitchDevice {
         sim_(simulator),
         pcap_(pcap) {}
 
-  void handle_frame(std::size_t port, wire::Frame frame) override {
+  void handle_frame(std::size_t port, wire::FrameHandle frame) override {
     if (pcap_ != nullptr) {
-      pcap_->write(sim_.now(), frame);
+      // Linearize for the pcap: the capture is an oracle boundary and must
+      // see the exact wire bytes whether or not the frame is shared.
+      pcap_->write(sim_.now(), frame.to_frame());
     }
     pisa::SwitchDevice::handle_frame(port, std::move(frame));
   }

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Full verification: build + tests, then the same suite under ASan and
+# UBSan. This is the bar for merging changes to the wire/framebuf layer
+# (refcounts, copy-on-write, in-place patching) — a leak or UB there is
+# invisible to the functional tests.
+#
+# Usage: scripts/check.sh [--fast]
+#   --fast: skip the sanitizer builds (plain build + ctest only)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS=$(nproc)
+FAST=0
+[[ "${1:-}" == "--fast" ]] && FAST=1
+
+run_suite() {
+  local name="$1" dir="$2"
+  shift 2
+  echo "=== ${name}: configure ==="
+  cmake -B "${dir}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo "$@"
+  echo "=== ${name}: build ==="
+  cmake --build "${dir}" -j "${JOBS}"
+  echo "=== ${name}: ctest ==="
+  ctest --test-dir "${dir}" -j "${JOBS}" --output-on-failure
+}
+
+run_suite "plain" build
+
+if [[ "${FAST}" == "0" ]]; then
+  run_suite "asan" build-asan -DNETCLONE_SANITIZE=address
+  run_suite "ubsan" build-ubsan -DNETCLONE_SANITIZE=undefined
+fi
+
+echo "=== all checks passed ==="

@@ -26,13 +26,14 @@ SimTime LaedgeCoordinator::charge_cpu() {
 }
 
 void LaedgeCoordinator::handle_frame(std::size_t /*port*/,
-                                     wire::Frame frame) {
+                                     wire::FrameHandle frame) {
   wire::Packet pkt;
   try {
-    pkt = wire::Packet::parse(frame);
+    pkt = wire::Packet::parse_backed(frame);
   } catch (const wire::CodecError&) {
     return;
   }
+  frame.reset();
   if (!pkt.has_netclone()) {
     return;
   }
@@ -120,9 +121,12 @@ void LaedgeCoordinator::dispatch(const wire::Packet& pkt, std::size_t w) {
   ++requests_[key].copies_outstanding;
 
   // Transmit path: each copy occupies the CPU again before hitting the NIC.
-  sim_.schedule_at(charge_cpu(), [this, bytes = out.serialize()]() mutable {
-    send(0, std::move(bytes));
-  });
+  // Both clone copies of a request share the payload bytes of the original
+  // frame; only the patched header region is private per copy.
+  sim_.schedule_at(charge_cpu(),
+                   [this, bytes = out.serialize_pooled()]() mutable {
+                     send(0, std::move(bytes));
+                   });
 }
 
 void LaedgeCoordinator::on_response(wire::Packet&& pkt) {
@@ -154,7 +158,7 @@ void LaedgeCoordinator::on_response(wire::Packet&& pkt) {
       out.udp.dst_port = state.client_port;
       out.udp.src_port = wire::kNetClonePort;
       sim_.schedule_at(charge_cpu(),
-                       [this, bytes = out.serialize()]() mutable {
+                       [this, bytes = out.serialize_pooled()]() mutable {
                          send(0, std::move(bytes));
                        });
     } else {

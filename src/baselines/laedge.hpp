@@ -63,7 +63,7 @@ class LaedgeCoordinator : public phys::Node {
  public:
   LaedgeCoordinator(sim::Scheduler& scheduler, LaedgeParams params, Rng rng);
 
-  void handle_frame(std::size_t port, wire::Frame frame) override;
+  void handle_frame(std::size_t port, wire::FrameHandle frame) override;
 
   [[nodiscard]] const LaedgeStats& stats() const { return stats_; }
   [[nodiscard]] std::size_t pending_requests() const {

@@ -116,18 +116,34 @@ void Client::on_arrival() {
   schedule_next_arrival();
 }
 
-void Client::send_all_packets(const Pending& pending,
-                              std::uint32_t client_seq) {
+void Client::send_all_packets(Pending& pending, std::uint32_t client_seq) {
+  if (!pending.tx_frames.empty()) {
+    // Retransmission: resend the cached buffers byte-for-byte; the switch
+    // derives the same REQ_ID from the unchanged client tuple.
+    for (const wire::FrameHandle& f : pending.tx_frames) {
+      emit_frame(f);
+    }
+    return;
+  }
   const wire::RpcRequest& req = pending.request;
+  // Only cache when a retransmit timer can ever fire, so the per-request
+  // Pending map doesn't retain frame buffers it will never resend.
+  const bool cache = params_.retransmit_timeout > SimTime::zero();
   switch (params_.mode) {
     case SendMode::kViaSwitch:
     case SendMode::kToCoordinator:
       for (std::uint8_t f = 0; f < params_.request_fragments; ++f) {
-        emit_request(req, params_.target, pending.grp, pending.idx,
-                     client_seq, f);
+        wire::FrameHandle sent = emit_request(req, params_.target,
+                                              pending.grp, pending.idx,
+                                              client_seq, f);
+        if (cache) {
+          pending.tx_frames.push_back(std::move(sent));
+        }
       }
       break;
     case SendMode::kDirectRandom: {
+      // A fresh random worker every attempt — never cached, so the RNG
+      // draw sequence matches the uncached behavior exactly.
       const auto i = static_cast<std::size_t>(
           rng_.next_below(params_.server_ips.size()));
       emit_request(req, params_.server_ips[i], pending.grp, pending.idx,
@@ -138,10 +154,13 @@ void Client::send_all_packets(const Pending& pending,
       // Two copies to two distinct random workers (chosen at issue time);
       // the client fields both responses itself (no in-network filtering
       // for C-Clone).
-      emit_request(req, pending.cclone_dsts[0], pending.grp, pending.idx,
-                   client_seq, 0);
-      emit_request(req, pending.cclone_dsts[1], pending.grp, pending.idx,
-                   client_seq, 0);
+      for (const wire::Ipv4Address dst : pending.cclone_dsts) {
+        wire::FrameHandle sent = emit_request(req, dst, pending.grp,
+                                              pending.idx, client_seq, 0);
+        if (cache) {
+          pending.tx_frames.push_back(std::move(sent));
+        }
+      }
       break;
   }
 }
@@ -172,9 +191,11 @@ void Client::arm_retransmit_timer(std::uint32_t client_seq) {
       });
 }
 
-void Client::emit_request(const wire::RpcRequest& req, wire::Ipv4Address dst,
-                          std::uint16_t grp, std::uint8_t idx,
-                          std::uint32_t client_seq, std::uint8_t frag_idx) {
+wire::FrameHandle Client::emit_request(const wire::RpcRequest& req,
+                                       wire::Ipv4Address dst,
+                                       std::uint16_t grp, std::uint8_t idx,
+                                       std::uint32_t client_seq,
+                                       std::uint8_t frag_idx) {
   wire::NetCloneHeader nc;
   // Write operations travel as WREQ so the switch never clones them (§5.5).
   nc.type = req.op == wire::RpcOp::kSet ? wire::MsgType::kWriteRequest
@@ -196,14 +217,23 @@ void Client::emit_request(const wire::RpcRequest& req, wire::Ipv4Address dst,
       /*src_port=*/static_cast<std::uint16_t>(40000 + params_.client_id),
       nc, req.to_frame());
 
+  wire::FrameHandle bytes = pkt.serialize_pooled();
+  emit_frame(bytes);
+  return bytes;
+}
+
+void Client::emit_frame(wire::FrameHandle bytes) {
   // Sender thread: serial per-packet cost delays actual emission; the
   // request's latency clock started at the (open-loop) arrival instant.
+  // The handle is moved, not copied, into the send event — and being 24
+  // bytes it fits the scheduler's inline-callback storage.
   const SimTime start = std::max(sim_.now(), tx_busy_until_);
   tx_busy_until_ = start + params_.tx_cost;
   ++stats_.packets_sent;
-  sim_.schedule_at(tx_busy_until_, [this, bytes = pkt.serialize()]() mutable {
-    send(0, std::move(bytes));
-  });
+  sim_.schedule_at(tx_busy_until_,
+                   [this, bytes = std::move(bytes)]() mutable {
+                     send(0, std::move(bytes));
+                   });
 }
 
 void Client::send_cancel(const Pending& pending, std::uint32_t client_seq,
@@ -219,22 +249,18 @@ void Client::send_cancel(const Pending& pending, std::uint32_t client_seq,
   wire::Packet pkt = wire::make_netclone_packet(
       my_mac_, wire::MacAddress::broadcast(), my_ip_, other,
       static_cast<std::uint16_t>(40000 + params_.client_id), nc, {});
-  const SimTime start = std::max(sim_.now(), tx_busy_until_);
-  tx_busy_until_ = start + params_.tx_cost;
-  ++stats_.packets_sent;
   ++stats_.cancels_sent;
-  sim_.schedule_at(tx_busy_until_, [this, bytes = pkt.serialize()]() mutable {
-    send(0, std::move(bytes));
-  });
+  emit_frame(pkt.serialize_pooled());
 }
 
-void Client::handle_frame(std::size_t /*port*/, wire::Frame frame) {
+void Client::handle_frame(std::size_t /*port*/, wire::FrameHandle frame) {
   wire::Packet pkt;
   try {
-    pkt = wire::Packet::parse(frame);
+    pkt = wire::Packet::parse_backed(frame);
   } catch (const wire::CodecError&) {
     return;
   }
+  frame.reset();
   if (!pkt.has_netclone() || !pkt.nc().is_response()) {
     return;
   }
@@ -284,6 +310,7 @@ void Client::on_response_processed(wire::Packet pkt) {
     return;  // waiting for the remaining fragments
   }
   pending.completed = true;
+  pending.tx_frames.clear();  // release the cached retransmit buffers
   // The retransmit timeout is dead weight now — O(1)-cancel it so the
   // engine truly removes the event instead of firing a no-op later.
   sim_.cancel(pending.retransmit_event);

@@ -135,7 +135,7 @@ class Client : public phys::Node {
   /// Schedules the first send; call once after topology wiring.
   void start();
 
-  void handle_frame(std::size_t port, wire::Frame frame) override;
+  void handle_frame(std::size_t port, wire::FrameHandle frame) override;
 
   [[nodiscard]] const ClientStats& stats() const { return stats_; }
   [[nodiscard]] std::size_t outstanding() const {
@@ -164,6 +164,11 @@ class Client : public phys::Node {
     std::uint32_t server_service_ns = 0;
     /// C-Clone: the two chosen workers, for targeted cancellation.
     std::array<wire::Ipv4Address, 2> cclone_dsts{};
+    /// Serialized request frames, cached so TCP-mode retransmissions resend
+    /// the same buffers instead of re-serializing (empty unless
+    /// retransmit_timeout is armed; never used for kDirectRandom, which
+    /// re-draws its destination every attempt). Released on completion.
+    std::vector<wire::FrameHandle> tx_frames{};
     /// Pending retransmit timeout (TCP mode); cancelled on completion so
     /// the event — and the closure it holds — is freed immediately.
     sim::EventId retransmit_event{};
@@ -175,10 +180,15 @@ class Client : public phys::Node {
   [[nodiscard]] SimTime next_arrival_time();
   void send_cancel(const Pending& pending, std::uint32_t client_seq,
                    wire::Ipv4Address responder);
-  void send_all_packets(const Pending& pending, std::uint32_t client_seq);
-  void emit_request(const wire::RpcRequest& req, wire::Ipv4Address dst,
-                    std::uint16_t grp, std::uint8_t idx,
-                    std::uint32_t client_seq, std::uint8_t frag_idx);
+  void send_all_packets(Pending& pending, std::uint32_t client_seq);
+  /// Builds, serializes and paces one request packet; returns the frame so
+  /// the caller can cache it for retransmission.
+  wire::FrameHandle emit_request(const wire::RpcRequest& req,
+                                 wire::Ipv4Address dst, std::uint16_t grp,
+                                 std::uint8_t idx, std::uint32_t client_seq,
+                                 std::uint8_t frag_idx);
+  /// Paces one already-serialized frame through the sender thread.
+  void emit_frame(wire::FrameHandle bytes);
   void arm_retransmit_timer(std::uint32_t client_seq);
   void on_response_processed(wire::Packet pkt);
 

@@ -18,13 +18,14 @@ Server::Server(sim::Scheduler& scheduler, ServerParams params,
   NETCLONE_CHECK(params_.workers > 0, "server needs at least one worker");
 }
 
-void Server::handle_frame(std::size_t /*port*/, wire::Frame frame) {
+void Server::handle_frame(std::size_t /*port*/, wire::FrameHandle frame) {
   wire::Packet pkt;
   try {
-    pkt = wire::Packet::parse(frame);
+    pkt = wire::Packet::parse_backed(frame);
   } catch (const wire::CodecError&) {
     return;  // not for us / corrupt — a real NIC would also discard it
   }
+  frame.reset();
   if (!pkt.has_netclone() ||
       (!pkt.nc().is_request() && !pkt.nc().is_cancel())) {
     return;  // servers only consume requests and cancels
@@ -197,7 +198,7 @@ void Server::on_complete(wire::Packet pkt, SimTime queue_wait,
   if (params_.response_fragments <= 1) {
     resp.nc().frag_idx = 0;
     resp.nc().frag_count = 1;
-    send(0, resp.serialize());
+    send(0, resp.serialize_pooled());
   } else {
     for (std::uint8_t f = 0; f < params_.response_fragments; ++f) {
       send_response_fragment(resp, f);
@@ -216,7 +217,7 @@ void Server::send_response_fragment(const wire::Packet& resp,
   if (frag_idx > 0) {
     fragment.payload.clear();  // the payload travels in fragment 0
   }
-  send(0, fragment.serialize());
+  send(0, fragment.serialize_pooled());
 }
 
 }  // namespace netclone::host

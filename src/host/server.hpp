@@ -85,7 +85,7 @@ class Server : public phys::Node {
   Server(sim::Scheduler& scheduler, ServerParams params,
          std::shared_ptr<ServiceModel> service, Rng rng);
 
-  void handle_frame(std::size_t port, wire::Frame frame) override;
+  void handle_frame(std::size_t port, wire::FrameHandle frame) override;
 
   [[nodiscard]] const ServerStats& stats() const { return stats_; }
   [[nodiscard]] ServerId sid() const { return params_.sid; }

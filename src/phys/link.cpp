@@ -24,7 +24,7 @@ SimTime Link::serialization_time(std::size_t bytes) const {
   return SimTime::seconds(seconds);
 }
 
-void Link::transmit(wire::Frame frame) {
+void Link::transmit(wire::FrameHandle frame) {
   if (!up_ || dst_ == nullptr) {
     ++stats_.dropped_frames;
     return;

@@ -11,7 +11,7 @@
 #include <cstdint>
 
 #include "sim/scheduler.hpp"
-#include "wire/bytes.hpp"
+#include "wire/framebuf.hpp"
 
 namespace netclone::phys {
 
@@ -44,7 +44,9 @@ class Link {
   void connect_to(Node* dst, std::size_t dst_port);
 
   /// Enqueues a frame for transmission; may drop if the queue is full.
-  void transmit(wire::Frame frame);
+  /// The handle is moved into the in-flight event — no byte copies; a
+  /// multicast emit passes one shared handle per link.
+  void transmit(wire::FrameHandle frame);
 
   /// Administratively disables the link; queued and in-flight frames are
   /// lost (models pulling the cable / peer down).

@@ -11,7 +11,7 @@ std::size_t Node::attach_egress(Link* link) {
   return egress_.size() - 1;
 }
 
-void Node::send(std::size_t port, wire::Frame frame) {
+void Node::send(std::size_t port, wire::FrameHandle frame) {
   if (port >= egress_.size() || egress_[port] == nullptr) {
     return;  // unplugged port: frame is lost
   }

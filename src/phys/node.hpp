@@ -6,7 +6,7 @@
 #include <vector>
 
 #include "common/types.hpp"
-#include "wire/bytes.hpp"
+#include "wire/framebuf.hpp"
 
 namespace netclone::phys {
 
@@ -20,8 +20,12 @@ class Node {
   Node(const Node&) = delete;
   Node& operator=(const Node&) = delete;
 
-  /// Called by a link when a frame arrives on `port`.
-  virtual void handle_frame(std::size_t port, wire::Frame frame) = 0;
+  /// Called by a link when a frame arrives on `port`. The handle may share
+  /// its bytes with other in-flight copies of the frame (multicast); treat
+  /// the bytes as immutable and mutate only via Packet's copy-on-write
+  /// serialize path. (wire::Frame converts implicitly, so legacy callers
+  /// passing owned vectors still work.)
+  virtual void handle_frame(std::size_t port, wire::FrameHandle frame) = 0;
 
   /// Registers an egress link and returns the new port index. Called by
   /// Topology while wiring; a node's ingress port i receives from the peer
@@ -34,7 +38,7 @@ class Node {
  protected:
   /// Transmits a frame out of `port`. Silently counts (and drops) frames
   /// sent on an unattached port — that models unplugged cables, not a bug.
-  void send(std::size_t port, wire::Frame frame);
+  void send(std::size_t port, wire::FrameHandle frame);
 
  private:
   std::string name_;

@@ -50,11 +50,11 @@ void SwitchDevice::recover() {
   log_info("switch '" + name() + "' recovered at " + to_string(sim_.now()));
 }
 
-void SwitchDevice::handle_frame(std::size_t port, wire::Frame frame) {
+void SwitchDevice::handle_frame(std::size_t port, wire::FrameHandle frame) {
   process(port, std::move(frame), /*recirculated=*/false);
 }
 
-void SwitchDevice::process(std::size_t port, wire::Frame frame,
+void SwitchDevice::process(std::size_t port, wire::FrameHandle frame,
                            bool recirculated) {
   ++stats_.rx_frames;
   if (failed_ || program_ == nullptr) {
@@ -64,11 +64,12 @@ void SwitchDevice::process(std::size_t port, wire::Frame frame,
 
   wire::Packet pkt;
   try {
-    pkt = wire::Packet::parse(frame);
+    pkt = wire::Packet::parse_backed(frame);
   } catch (const wire::CodecError&) {
     ++stats_.parse_errors;
     return;
   }
+  frame.reset();  // the packet's backing now holds the only live references
 
   PacketMetadata md;
   md.ingress_port = port;
@@ -101,21 +102,24 @@ void SwitchDevice::process(std::size_t port, wire::Frame frame,
     return;
   }
 
-  // The packet leaves the pipeline after the fixed traversal latency.
+  // The packet leaves the pipeline after the fixed traversal latency. The
+  // deparser (serialize) runs exactly once; a multicast set then shares the
+  // resulting buffer across all output ports by reference count.
   sim_.schedule_after(params_.pipeline_latency,
-                      [this, out_ports, pkt = std::move(pkt)]() {
+                      [this, out_ports, pkt = std::move(pkt)]() mutable {
                         if (failed_) {
                           ++stats_.dropped_while_failed;
                           return;
                         }
+                        const wire::FrameHandle bytes =
+                            pkt.serialize_pooled();
                         for (const std::size_t p : out_ports) {
-                          emit(p, pkt);
+                          emit(p, bytes);
                         }
                       });
 }
 
-void SwitchDevice::emit(std::size_t port, const wire::Packet& pkt) {
-  wire::Frame bytes = pkt.serialize();
+void SwitchDevice::emit(std::size_t port, wire::FrameHandle bytes) {
   if (loopback_ports_.contains(port)) {
     ++stats_.recirculated;
     sim_.schedule_after(

@@ -69,11 +69,14 @@ class SwitchDevice : public phys::Node {
 
   [[nodiscard]] const SwitchStats& stats() const { return stats_; }
 
-  void handle_frame(std::size_t port, wire::Frame frame) override;
+  void handle_frame(std::size_t port, wire::FrameHandle frame) override;
 
  private:
-  void process(std::size_t port, wire::Frame frame, bool recirculated);
-  void emit(std::size_t port, const wire::Packet& pkt);
+  void process(std::size_t port, wire::FrameHandle frame, bool recirculated);
+  /// Hands one shared frame handle to an output port. Every port of a
+  /// multicast set receives a refcount bump of the same serialized bytes —
+  /// the deparser runs once per pipeline pass, not once per copy.
+  void emit(std::size_t port, wire::FrameHandle bytes);
 
   sim::Scheduler& sim_;
   SwitchParams params_;

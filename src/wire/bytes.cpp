@@ -4,76 +4,39 @@
 
 namespace netclone::wire {
 
-void ByteWriter::u8(std::uint8_t v) {
-  out_.push_back(static_cast<std::byte>(v));
-}
+void throw_writer_overflow() { throw CodecError{"byte writer overflow"}; }
 
-void ByteWriter::u16(std::uint16_t v) {
-  u8(static_cast<std::uint8_t>(v >> 8));
-  u8(static_cast<std::uint8_t>(v & 0xFFU));
-}
-
-void ByteWriter::u32(std::uint32_t v) {
-  u16(static_cast<std::uint16_t>(v >> 16));
-  u16(static_cast<std::uint16_t>(v & 0xFFFFU));
-}
-
-void ByteWriter::u64(std::uint64_t v) {
-  u32(static_cast<std::uint32_t>(v >> 32));
-  u32(static_cast<std::uint32_t>(v & 0xFFFFFFFFU));
-}
-
-void ByteWriter::i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+void throw_reader_underrun() { throw CodecError{"byte stream underrun"}; }
 
 void ByteWriter::bytes(std::span<const std::byte> data) {
-  out_.insert(out_.end(), data.begin(), data.end());
+  if (vec_ != nullptr) {
+    vec_->insert(vec_->end(), data.begin(), data.end());
+    return;
+  }
+  if (cap_ - len_ < data.size()) {
+    throw_writer_overflow();
+  }
+  std::copy(data.begin(), data.end(), fixed_ + len_);
+  len_ += data.size();
 }
 
 void ByteWriter::zeros(std::size_t n) {
-  out_.insert(out_.end(), n, std::byte{0});
-}
-
-void ByteReader::require(std::size_t n) const {
-  if (remaining() < n) {
-    throw CodecError{"byte stream underrun"};
+  if (vec_ != nullptr) {
+    vec_->insert(vec_->end(), n, std::byte{0});
+    return;
   }
+  if (cap_ - len_ < n) {
+    throw_writer_overflow();
+  }
+  std::fill_n(fixed_ + len_, n, std::byte{0});
+  len_ += n;
 }
-
-std::uint8_t ByteReader::u8() {
-  require(1);
-  return static_cast<std::uint8_t>(data_[offset_++]);
-}
-
-std::uint16_t ByteReader::u16() {
-  const auto hi = static_cast<std::uint16_t>(u8());
-  const auto lo = static_cast<std::uint16_t>(u8());
-  return static_cast<std::uint16_t>(hi << 8 | lo);
-}
-
-std::uint32_t ByteReader::u32() {
-  const auto hi = static_cast<std::uint32_t>(u16());
-  const auto lo = static_cast<std::uint32_t>(u16());
-  return hi << 16 | lo;
-}
-
-std::uint64_t ByteReader::u64() {
-  const auto hi = static_cast<std::uint64_t>(u32());
-  const auto lo = static_cast<std::uint64_t>(u32());
-  return hi << 32 | lo;
-}
-
-std::int64_t ByteReader::i64() { return static_cast<std::int64_t>(u64()); }
 
 void ByteReader::bytes(std::span<std::byte> out) {
   require(out.size());
   std::copy_n(data_.begin() + static_cast<std::ptrdiff_t>(offset_),
               out.size(), out.begin());
   offset_ += out.size();
-}
-
-void ByteReader::skip(std::size_t n) {
-  require(n);
-  offset_ += n;
 }
 
 void poke_u16(Frame& frame, std::size_t offset, std::uint16_t v) {

@@ -24,38 +24,152 @@ class CodecError : public std::runtime_error {
   explicit CodecError(const std::string& what) : std::runtime_error(what) {}
 };
 
-/// Appends big-endian values to a growing byte vector.
+/// Cold out-of-line throw helpers; keeping them out of the inline codec
+/// accessors keeps the hot (always-taken) path to a compare and a store.
+[[noreturn]] void throw_writer_overflow();
+[[noreturn]] void throw_reader_underrun();
+
+// Big-endian field accessors at fixed offsets within a raw region obtained
+// from ByteWriter::raw / ByteReader::raw. Fixed-layout header codecs write
+// through these so the bounds check happens once per header, not per byte.
+inline void store_u8(std::byte* p, std::size_t off, std::uint8_t v) {
+  p[off] = static_cast<std::byte>(v);
+}
+inline void store_u16(std::byte* p, std::size_t off, std::uint16_t v) {
+  p[off] = static_cast<std::byte>(v >> 8);
+  p[off + 1] = static_cast<std::byte>(v & 0xFFU);
+}
+inline void store_u32(std::byte* p, std::size_t off, std::uint32_t v) {
+  store_u16(p, off, static_cast<std::uint16_t>(v >> 16));
+  store_u16(p, off + 2, static_cast<std::uint16_t>(v & 0xFFFFU));
+}
+inline std::uint8_t load_u8(const std::byte* p, std::size_t off) {
+  return static_cast<std::uint8_t>(p[off]);
+}
+inline std::uint16_t load_u16(const std::byte* p, std::size_t off) {
+  return static_cast<std::uint16_t>(
+      static_cast<std::uint16_t>(p[off]) << 8 |
+      static_cast<std::uint16_t>(p[off + 1]));
+}
+inline std::uint32_t load_u32(const std::byte* p, std::size_t off) {
+  return static_cast<std::uint32_t>(load_u16(p, off)) << 16 |
+         static_cast<std::uint32_t>(load_u16(p, off + 2));
+}
+
+/// Writes big-endian values either into a growing byte vector or into a
+/// caller-provided fixed buffer (the pooled frame path serializes straight
+/// into arena storage; overflowing the fixed bound throws CodecError).
+///
+/// The accessors are inline: header serialization is the per-hop inner
+/// loop of the whole simulation, and a u32 through out-of-line per-byte
+/// calls costs seven function calls.
 class ByteWriter {
  public:
-  explicit ByteWriter(Frame& out) : out_(out) {}
+  explicit ByteWriter(Frame& out) : vec_(&out) {}
+  explicit ByteWriter(std::span<std::byte> fixed)
+      : fixed_(fixed.data()), cap_(fixed.size()) {}
 
-  void u8(std::uint8_t v);
-  void u16(std::uint16_t v);
-  void u32(std::uint32_t v);
-  void u64(std::uint64_t v);
-  void i64(std::int64_t v);
+  void u8(std::uint8_t v) {
+    if (vec_ != nullptr) {
+      vec_->push_back(static_cast<std::byte>(v));
+      return;
+    }
+    if (len_ >= cap_) {
+      throw_writer_overflow();
+    }
+    fixed_[len_++] = static_cast<std::byte>(v);
+  }
+  void u16(std::uint16_t v) {
+    u8(static_cast<std::uint8_t>(v >> 8));
+    u8(static_cast<std::uint8_t>(v & 0xFFU));
+  }
+  void u32(std::uint32_t v) {
+    u16(static_cast<std::uint16_t>(v >> 16));
+    u16(static_cast<std::uint16_t>(v & 0xFFFFU));
+  }
+  void u64(std::uint64_t v) {
+    u32(static_cast<std::uint32_t>(v >> 32));
+    u32(static_cast<std::uint32_t>(v & 0xFFFFFFFFU));
+  }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
   void bytes(std::span<const std::byte> data);
   void zeros(std::size_t n);
 
-  [[nodiscard]] std::size_t written() const { return out_.size(); }
+  /// Reserves `n` contiguous output bytes — one bounds check (fixed mode)
+  /// or one resize (vector mode) — and returns a pointer to write them
+  /// through store_*. The caller must fill all `n` bytes.
+  [[nodiscard]] std::byte* raw(std::size_t n) {
+    if (vec_ != nullptr) {
+      const std::size_t off = vec_->size();
+      vec_->resize(off + n);
+      return vec_->data() + off;
+    }
+    if (cap_ - len_ < n) {
+      throw_writer_overflow();
+    }
+    std::byte* p = fixed_ + len_;
+    len_ += n;
+    return p;
+  }
+
+  [[nodiscard]] std::size_t written() const {
+    return vec_ != nullptr ? vec_->size() : len_;
+  }
 
  private:
-  Frame& out_;
+  Frame* vec_ = nullptr;
+  std::byte* fixed_ = nullptr;
+  std::size_t cap_ = 0;
+  std::size_t len_ = 0;
 };
 
 /// Consumes big-endian values from a byte span; throws CodecError on
 /// underrun so truncated packets can never be half-parsed silently.
+/// Inline for the same reason as ByteWriter: parsing is the other half of
+/// the per-hop inner loop.
 class ByteReader {
  public:
   explicit ByteReader(std::span<const std::byte> data) : data_(data) {}
 
-  [[nodiscard]] std::uint8_t u8();
-  [[nodiscard]] std::uint16_t u16();
-  [[nodiscard]] std::uint32_t u32();
-  [[nodiscard]] std::uint64_t u64();
-  [[nodiscard]] std::int64_t i64();
+  [[nodiscard]] std::uint8_t u8() {
+    require(1);
+    return static_cast<std::uint8_t>(data_[offset_++]);
+  }
+  [[nodiscard]] std::uint16_t u16() {
+    require(2);
+    const auto v = static_cast<std::uint16_t>(
+        static_cast<std::uint16_t>(data_[offset_]) << 8 |
+        static_cast<std::uint16_t>(data_[offset_ + 1]));
+    offset_ += 2;
+    return v;
+  }
+  [[nodiscard]] std::uint32_t u32() {
+    const auto hi = static_cast<std::uint32_t>(u16());
+    const auto lo = static_cast<std::uint32_t>(u16());
+    return hi << 16 | lo;
+  }
+  [[nodiscard]] std::uint64_t u64() {
+    const auto hi = static_cast<std::uint64_t>(u32());
+    const auto lo = static_cast<std::uint64_t>(u32());
+    return hi << 32 | lo;
+  }
+  [[nodiscard]] std::int64_t i64() {
+    return static_cast<std::int64_t>(u64());
+  }
   void bytes(std::span<std::byte> out);
-  void skip(std::size_t n);
+  void skip(std::size_t n) {
+    require(n);
+    offset_ += n;
+  }
+
+  /// Consumes `n` contiguous bytes with a single bounds check and returns
+  /// a pointer to read them through load_*.
+  [[nodiscard]] const std::byte* raw(std::size_t n) {
+    require(n);
+    const std::byte* p = data_.data() + offset_;
+    offset_ += n;
+    return p;
+  }
 
   [[nodiscard]] std::size_t remaining() const {
     return data_.size() - offset_;
@@ -66,7 +180,11 @@ class ByteReader {
   }
 
  private:
-  void require(std::size_t n) const;
+  void require(std::size_t n) const {
+    if (remaining() < n) {
+      throw_reader_underrun();
+    }
+  }
 
   std::span<const std::byte> data_;
   std::size_t offset_ = 0;

@@ -28,26 +28,4 @@ std::string MacAddress::to_string() const {
   return buf;
 }
 
-void EthernetHeader::serialize(ByteWriter& w) const {
-  for (const std::uint8_t b : dst.octets) {
-    w.u8(b);
-  }
-  for (const std::uint8_t b : src.octets) {
-    w.u8(b);
-  }
-  w.u16(static_cast<std::uint16_t>(ether_type));
-}
-
-EthernetHeader EthernetHeader::parse(ByteReader& r) {
-  EthernetHeader h;
-  for (auto& b : h.dst.octets) {
-    b = r.u8();
-  }
-  for (auto& b : h.src.octets) {
-    b = r.u8();
-  }
-  h.ether_type = static_cast<EtherType>(r.u16());
-  return h;
-}
-
 }  // namespace netclone::wire

@@ -36,8 +36,25 @@ struct EthernetHeader {
   MacAddress src{};
   EtherType ether_type = EtherType::kIpv4;
 
-  void serialize(ByteWriter& w) const;
-  [[nodiscard]] static EthernetHeader parse(ByteReader& r);
+  // Inline: the header codecs are the per-hop inner loop of the simulator.
+  void serialize(ByteWriter& w) const {
+    std::byte* p = w.raw(kSize);
+    for (std::size_t i = 0; i < 6; ++i) {
+      store_u8(p, i, dst.octets[i]);
+      store_u8(p, 6 + i, src.octets[i]);
+    }
+    store_u16(p, 12, static_cast<std::uint16_t>(ether_type));
+  }
+  [[nodiscard]] static EthernetHeader parse(ByteReader& r) {
+    const std::byte* p = r.raw(kSize);
+    EthernetHeader h;
+    for (std::size_t i = 0; i < 6; ++i) {
+      h.dst.octets[i] = load_u8(p, i);
+      h.src.octets[i] = load_u8(p, 6 + i);
+    }
+    h.ether_type = static_cast<EtherType>(load_u16(p, 12));
+    return h;
+  }
 };
 
 }  // namespace netclone::wire

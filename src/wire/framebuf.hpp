@@ -1,0 +1,334 @@
+// Pooled, reference-counted frame buffers — the zero-copy packet path.
+//
+// The simulation used to re-materialize every packet at every hop: parse
+// into structs, mutate, serialize into a brand-new heap vector, deep-copy
+// once more per multicast port. This layer replaces that with three ideas:
+//
+//   * FramePool — a free-list arena of fixed size-class buffers, so the
+//     per-hop cycle allocates from a recycled slab instead of malloc;
+//   * FrameHandle — an intrusively refcounted handle to a pooled buffer.
+//     Copies share bytes (multicast fan-out is a refcount bump); mutation
+//     goes through a copy-on-write head split that duplicates only the
+//     ≤64-byte header region and keeps sharing the payload tail;
+//   * PayloadRef — Packet's payload as either owned bytes (built packets)
+//     or a view pinning the backing buffer (parsed packets), so parsing a
+//     frame no longer copies the application payload.
+//
+// Everything here is single-threaded, like the event engine: refcounts are
+// plain integers, and determinism is unaffected because sharing never
+// changes the bytes observed at any wire boundary.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <utility>
+
+#include "common/check.hpp"
+#include "wire/bytes.hpp"
+
+namespace netclone::wire {
+
+class FramePool;
+
+/// One pooled buffer: an intrusive header immediately followed by
+/// `capacity` bytes of frame storage in the same allocation.
+struct FrameBuf {
+  std::uint32_t refs = 0;
+  std::uint32_t size = 0;      // bytes in use
+  std::uint32_t capacity = 0;  // bytes available after the header
+  std::uint8_t size_class = 0;
+  FramePool* pool = nullptr;
+  FrameBuf* next_free = nullptr;
+
+  [[nodiscard]] std::byte* data() {
+    return reinterpret_cast<std::byte*>(this) + sizeof(FrameBuf);
+  }
+  [[nodiscard]] const std::byte* data() const {
+    return reinterpret_cast<const std::byte*>(this) + sizeof(FrameBuf);
+  }
+};
+
+/// Free-list arena of FrameBufs in power-of-two size classes. Oversized
+/// requests fall through to plain heap allocations that are freed, not
+/// recycled. Under AddressSanitizer recycling is disabled entirely so a
+/// use-after-release of a frame is a real heap use-after-free ASan can see.
+class FramePool {
+ public:
+#if defined(__SANITIZE_ADDRESS__)
+  static constexpr bool kRecyclingEnabled = false;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+  static constexpr bool kRecyclingEnabled = false;
+#else
+  static constexpr bool kRecyclingEnabled = true;
+#endif
+#else
+  static constexpr bool kRecyclingEnabled = true;
+#endif
+
+  struct Stats {
+    std::uint64_t slabs_allocated = 0;  // buffers created with operator new
+    std::uint64_t acquired = 0;
+    std::uint64_t released = 0;
+    std::uint64_t recycled = 0;  // acquires served from a free list
+    std::uint64_t live = 0;      // currently acquired
+  };
+
+  FramePool() = default;
+  ~FramePool();
+
+  FramePool(const FramePool&) = delete;
+  FramePool& operator=(const FramePool&) = delete;
+
+  /// Returns a buffer with refs == 1 and size == `size`, contents
+  /// uninitialized. The caller owns the single reference.
+  [[nodiscard]] FrameBuf* acquire(std::size_t size);
+
+  /// Returns a buffer to its free list (or frees it). Called by the last
+  /// handle release; `buf->refs` must already be zero.
+  void release(FrameBuf* buf);
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  /// The process-wide pool the data path allocates from.
+  [[nodiscard]] static FramePool& instance();
+
+ private:
+  static constexpr std::size_t kClassCount = 6;
+  static constexpr std::size_t kClassSize[kClassCount] = {64,  128,  256,
+                                                          512, 1024, 2048};
+  static constexpr std::uint8_t kUnpooled = 0xFF;
+
+  FrameBuf* free_[kClassCount] = {};
+  Stats stats_;
+};
+
+/// Largest contiguous header region a frame can carry (Ethernet + IPv4 +
+/// UDP + NetClone = 63 bytes). Copy-on-write splits duplicate at most this
+/// much per copy; the payload tail is always shared.
+inline constexpr std::size_t kMaxHeaderRegion = 64;
+
+/// Refcounted view of a frame's bytes: either one contiguous pooled buffer,
+/// or — after a copy-on-write header split — a private head buffer plus a
+/// shared tail. Copying a handle never copies frame bytes.
+class FrameHandle {
+ public:
+  FrameHandle() = default;
+  // The special members are inline: handles ride through every event
+  // lambda and per-hop cycle, so a refcount bump must not cost a call.
+  FrameHandle(const FrameHandle& other)
+      : head_(other.head_), body_(other.body_), body_off_(other.body_off_) {
+    add_ref(head_);
+    add_ref(body_);
+  }
+  FrameHandle& operator=(const FrameHandle& other) {
+    if (this != &other) {
+      add_ref(other.head_);
+      add_ref(other.body_);
+      reset();
+      head_ = other.head_;
+      body_ = other.body_;
+      body_off_ = other.body_off_;
+    }
+    return *this;
+  }
+  FrameHandle(FrameHandle&& other) noexcept
+      : head_(other.head_), body_(other.body_), body_off_(other.body_off_) {
+    other.head_ = nullptr;
+    other.body_ = nullptr;
+    other.body_off_ = 0;
+  }
+  FrameHandle& operator=(FrameHandle&& other) noexcept {
+    if (this != &other) {
+      reset();
+      head_ = other.head_;
+      body_ = other.body_;
+      body_off_ = other.body_off_;
+      other.head_ = nullptr;
+      other.body_ = nullptr;
+      other.body_off_ = 0;
+    }
+    return *this;
+  }
+  ~FrameHandle() { reset(); }
+
+  // Bridges from the legacy owned-vector frame type: copies the bytes into
+  // a pooled buffer. Implicit so call sites (and tests) that still build
+  // wire::Frame values keep working unchanged.
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  FrameHandle(const Frame& frame) : FrameHandle(copy_of(frame)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  FrameHandle(Frame&& frame) : FrameHandle(copy_of(frame)) {}
+
+  /// A unique handle to `size` uninitialized pooled bytes; fill through
+  /// writable_all() before sharing.
+  [[nodiscard]] static FrameHandle allocate(std::size_t size);
+  [[nodiscard]] static FrameHandle allocate(FramePool& pool,
+                                            std::size_t size);
+  [[nodiscard]] static FrameHandle copy_of(std::span<const std::byte> bytes);
+
+  [[nodiscard]] std::size_t size() const {
+    if (body_ == nullptr) {
+      return 0;
+    }
+    const std::size_t tail = body_->size - body_off_;
+    return split() ? head_->size + tail : tail;
+  }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+  [[nodiscard]] explicit operator bool() const { return body_ != nullptr; }
+
+  /// True after a copy-on-write header split: the first head_bytes() of
+  /// the frame live in a private buffer, the rest in the shared tail.
+  [[nodiscard]] bool split() const { return head_ != nullptr; }
+  [[nodiscard]] std::span<const std::byte> head_bytes() const {
+    NETCLONE_CHECK(split(), "frame has no private head");
+    return {head_->data(), head_->size};
+  }
+  [[nodiscard]] std::span<const std::byte> tail_bytes() const {
+    NETCLONE_CHECK(body_ != nullptr, "empty frame handle");
+    return {body_->data() + body_off_, body_->size - body_off_};
+  }
+
+  /// The whole frame as one span; only valid when !split().
+  [[nodiscard]] std::span<const std::byte> bytes() const {
+    NETCLONE_CHECK(body_ != nullptr, "empty frame handle");
+    NETCLONE_CHECK(!split(), "split frame is not contiguous");
+    return {body_->data(), body_->size};
+  }
+
+  /// Linearizing copy — the oracle boundary (pcap dumps, legacy parse).
+  [[nodiscard]] Frame to_frame() const;
+  void copy_to(std::byte* dst) const;
+
+  /// Whole-buffer write access; requires a unique, unsplit handle (the
+  /// freshly-allocated case).
+  [[nodiscard]] std::byte* writable_all();
+
+  /// Write access to the first `head_len` bytes with copy-on-write: if the
+  /// underlying buffer is shared beyond `tolerated_body_refs` references
+  /// (a backed Packet legitimately holds two — its backing handle and its
+  /// payload view), only the header region is duplicated into a private
+  /// head buffer and the payload tail stays shared.
+  [[nodiscard]] std::byte* writable_head(std::size_t head_len,
+                                         std::uint32_t tolerated_body_refs =
+                                             1);
+
+  /// Reference count of the buffer holding the payload bytes.
+  [[nodiscard]] std::uint32_t use_count() const {
+    return body_ != nullptr ? body_->refs : 0;
+  }
+  [[nodiscard]] bool shares_body_with(const FrameHandle& other) const {
+    return body_ != nullptr && body_ == other.body_;
+  }
+
+  void reset() {
+    release_ref(head_);
+    release_ref(body_);
+    head_ = nullptr;
+    body_ = nullptr;
+    body_off_ = 0;
+  }
+
+ private:
+  FrameHandle(FrameBuf* head, FrameBuf* body, std::uint32_t body_off)
+      : head_(head), body_(body), body_off_(body_off) {}
+
+  static void add_ref(FrameBuf* buf) {
+    if (buf != nullptr) {
+      ++buf->refs;
+    }
+  }
+  static void release_ref(FrameBuf* buf) {
+    if (buf == nullptr) {
+      return;
+    }
+    NETCLONE_CHECK(buf->refs > 0, "frame buffer over-released");
+    if (--buf->refs == 0) {
+      buf->pool->release(buf);
+    }
+  }
+
+  FrameBuf* head_ = nullptr;  // engaged only when split
+  FrameBuf* body_ = nullptr;  // whole frame, or the shared tail when split
+  std::uint32_t body_off_ = 0;  // first body_ byte belonging to this frame
+};
+
+/// A packet payload: owned bytes for built packets, or a zero-copy view
+/// into the backing frame for parsed packets. The view mode pins the
+/// backing buffer, so the span stays valid for the payload's lifetime
+/// (header patching never touches payload bytes).
+class PayloadRef {
+ public:
+  PayloadRef() = default;
+  // NOLINTNEXTLINE(google-explicit-constructor): payloads assign from Frame
+  PayloadRef(Frame owned) : owned_(std::move(owned)) {}
+  PayloadRef(FrameHandle keepalive, std::span<const std::byte> view)
+      : keepalive_(std::move(keepalive)), view_(view), is_view_(true) {}
+
+  PayloadRef& operator=(Frame owned) {
+    owned_ = std::move(owned);
+    keepalive_.reset();
+    view_ = {};
+    is_view_ = false;
+    return *this;
+  }
+
+  [[nodiscard]] std::span<const std::byte> bytes() const {
+    return is_view_ ? view_ : std::span<const std::byte>{owned_};
+  }
+  // NOLINTNEXTLINE(google-explicit-constructor): payloads read as spans
+  operator std::span<const std::byte>() const { return bytes(); }
+
+  [[nodiscard]] std::size_t size() const { return bytes().size(); }
+  [[nodiscard]] bool empty() const { return bytes().empty(); }
+  [[nodiscard]] const std::byte* data() const { return bytes().data(); }
+
+  void clear() {
+    owned_.clear();
+    keepalive_.reset();
+    view_ = {};
+    is_view_ = false;
+  }
+
+  [[nodiscard]] bool is_view() const { return is_view_; }
+  /// True when this payload is the untouched parse-time view into the
+  /// buffer `backing` also refers to — the fast-path precondition.
+  [[nodiscard]] bool views_body_of(const FrameHandle& backing) const {
+    return is_view_ && keepalive_.shares_body_with(backing);
+  }
+
+  /// Owned copy of the payload bytes.
+  [[nodiscard]] Frame to_frame() const {
+    const auto b = bytes();
+    return Frame{b.begin(), b.end()};
+  }
+
+  friend bool operator==(const PayloadRef& a, const PayloadRef& b) {
+    const auto ab = a.bytes();
+    const auto bb = b.bytes();
+    return ab.size() == bb.size() &&
+           std::equal(ab.begin(), ab.end(), bb.begin());
+  }
+  friend bool operator==(const PayloadRef& a, const Frame& b) {
+    const auto ab = a.bytes();
+    return ab.size() == b.size() && std::equal(ab.begin(), ab.end(),
+                                               b.begin());
+  }
+
+ private:
+  Frame owned_{};
+  FrameHandle keepalive_{};
+  std::span<const std::byte> view_{};
+  bool is_view_ = false;
+};
+
+/// Global switch for the zero-copy packet path. When disabled, parsing
+/// from a FrameHandle falls back to the legacy copying parse and
+/// serialization always rebuilds the frame — the comparison baseline for
+/// bench_packet_path.
+[[nodiscard]] bool packet_fastpath_enabled();
+void set_packet_fastpath_enabled(bool enabled);
+
+}  // namespace netclone::wire

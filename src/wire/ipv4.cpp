@@ -1,5 +1,6 @@
 #include "wire/ipv4.hpp"
 
+#include <array>
 #include <cstdio>
 
 namespace netclone::wire {
@@ -35,29 +36,10 @@ std::uint16_t internet_checksum(std::span<const std::byte> data,
   return static_cast<std::uint16_t>(~sum & 0xFFFFU);
 }
 
-namespace {
-
-void serialize_raw(const Ipv4Header& h, ByteWriter& w,
-                   std::uint16_t checksum) {
-  w.u8(0x45);  // version 4, IHL 5
-  w.u8(h.dscp);
-  w.u16(h.total_length);
-  w.u16(h.identification);
-  w.u16(0);  // flags + fragment offset: never fragmented here
-  w.u8(h.ttl);
-  w.u8(static_cast<std::uint8_t>(h.protocol));
-  w.u16(checksum);
-  w.u32(h.src.value);
-  w.u32(h.dst.value);
-}
-
-}  // namespace
-
 std::uint16_t Ipv4Header::compute_checksum() const {
-  Frame buf;
-  buf.reserve(kSize);
-  ByteWriter w{buf};
-  serialize_raw(*this, w, 0);
+  std::array<std::byte, kSize> buf;
+  ByteWriter w{std::span<std::byte>{buf}};
+  serialize_with_checksum(w, 0);
   return internet_checksum(buf);
 }
 
@@ -67,25 +49,7 @@ bool Ipv4Header::checksum_valid() const {
 
 void Ipv4Header::serialize(ByteWriter& w) {
   header_checksum = compute_checksum();
-  serialize_raw(*this, w, header_checksum);
-}
-
-Ipv4Header Ipv4Header::parse(ByteReader& r) {
-  Ipv4Header h;
-  const std::uint8_t version_ihl = r.u8();
-  if (version_ihl != 0x45) {
-    throw CodecError{"unsupported IPv4 version/IHL"};
-  }
-  h.dscp = r.u8();
-  h.total_length = r.u16();
-  h.identification = r.u16();
-  r.skip(2);  // flags + fragment offset
-  h.ttl = r.u8();
-  h.protocol = static_cast<IpProto>(r.u8());
-  h.header_checksum = r.u16();
-  h.src.value = r.u32();
-  h.dst.value = r.u32();
-  return h;
+  serialize_with_checksum(w, header_checksum);
 }
 
 }  // namespace netclone::wire

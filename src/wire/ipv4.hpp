@@ -52,7 +52,41 @@ struct Ipv4Header {
   /// ignored on write and updated to the computed value).
   void serialize(ByteWriter& w);
 
-  [[nodiscard]] static Ipv4Header parse(ByteReader& r);
+  /// Serializes with a caller-chosen checksum value (in-place patching
+  /// writes the old bytes as placeholders, then fixes them incrementally).
+  /// Inline: the header codecs are the per-hop inner loop of the simulator.
+  void serialize_with_checksum(ByteWriter& w, std::uint16_t checksum) const {
+    std::byte* p = w.raw(kSize);
+    store_u8(p, 0, 0x45);  // version 4, IHL 5
+    store_u8(p, 1, dscp);
+    store_u16(p, 2, total_length);
+    store_u16(p, 4, identification);
+    store_u16(p, 6, 0);  // flags + fragment offset: never fragmented here
+    store_u8(p, 8, ttl);
+    store_u8(p, 9, static_cast<std::uint8_t>(protocol));
+    store_u16(p, 10, checksum);
+    store_u32(p, 12, src.value);
+    store_u32(p, 16, dst.value);
+  }
+
+  [[nodiscard]] static Ipv4Header parse(ByteReader& r) {
+    const std::byte* p = r.raw(kSize);
+    const std::uint8_t version_ihl = load_u8(p, 0);
+    if (version_ihl != 0x45) {
+      throw CodecError{"unsupported IPv4 version/IHL"};
+    }
+    Ipv4Header h;
+    h.dscp = load_u8(p, 1);
+    h.total_length = load_u16(p, 2);
+    h.identification = load_u16(p, 4);
+    // offsets 6-7: flags + fragment offset, always zero here
+    h.ttl = load_u8(p, 8);
+    h.protocol = static_cast<IpProto>(load_u8(p, 9));
+    h.header_checksum = load_u16(p, 10);
+    h.src.value = load_u32(p, 12);
+    h.dst.value = load_u32(p, 16);
+    return h;
+  }
 
   /// Computes the RFC 1071 checksum of this header (checksum field as 0).
   [[nodiscard]] std::uint16_t compute_checksum() const;

@@ -1,49 +1,4 @@
 #include "wire/netclone_header.hpp"
 
-namespace netclone::wire {
-
-void NetCloneHeader::serialize(ByteWriter& w) const {
-  w.u8(static_cast<std::uint8_t>(type));
-  w.u8(static_cast<std::uint8_t>(clo));
-  w.u16(grp);
-  w.u32(req_id);
-  w.u8(sid);
-  w.u16(state);
-  w.u8(idx);
-  w.u8(switch_id);
-  w.u16(client_id);
-  w.u32(client_seq);
-  w.u8(frag_idx);
-  w.u8(frag_count);
-}
-
-NetCloneHeader NetCloneHeader::parse(ByteReader& r) {
-  NetCloneHeader h;
-  const std::uint8_t type = r.u8();
-  if (type < static_cast<std::uint8_t>(MsgType::kRequest) ||
-      type > static_cast<std::uint8_t>(MsgType::kCancel)) {
-    throw CodecError{"bad NetClone TYPE"};
-  }
-  h.type = static_cast<MsgType>(type);
-  const std::uint8_t clo = r.u8();
-  if (clo > 2) {
-    throw CodecError{"bad NetClone CLO"};
-  }
-  h.clo = static_cast<CloneStatus>(clo);
-  h.grp = r.u16();
-  h.req_id = r.u32();
-  h.sid = r.u8();
-  h.state = r.u16();
-  h.idx = r.u8();
-  h.switch_id = r.u8();
-  h.client_id = r.u16();
-  h.client_seq = r.u32();
-  h.frag_idx = r.u8();
-  h.frag_count = r.u8();
-  if (h.frag_count == 0 || h.frag_idx >= h.frag_count) {
-    throw CodecError{"bad NetClone fragment fields"};
-  }
-  return h;
-}
-
-}  // namespace netclone::wire
+// The NetClone header codecs are inline in the header (hot path); this
+// translation unit only anchors the include.

@@ -58,8 +58,51 @@ struct NetCloneHeader {
   std::uint8_t frag_idx = 0;
   std::uint8_t frag_count = 1;
 
-  void serialize(ByteWriter& w) const;
-  [[nodiscard]] static NetCloneHeader parse(ByteReader& r);
+  // Inline: the header codecs are the per-hop inner loop of the simulator.
+  void serialize(ByteWriter& w) const {
+    std::byte* p = w.raw(kSize);
+    store_u8(p, 0, static_cast<std::uint8_t>(type));
+    store_u8(p, 1, static_cast<std::uint8_t>(clo));
+    store_u16(p, 2, grp);
+    store_u32(p, 4, req_id);
+    store_u8(p, 8, sid);
+    store_u16(p, 9, state);
+    store_u8(p, 11, idx);
+    store_u8(p, 12, switch_id);
+    store_u16(p, 13, client_id);
+    store_u32(p, 15, client_seq);
+    store_u8(p, 19, frag_idx);
+    store_u8(p, 20, frag_count);
+  }
+  [[nodiscard]] static NetCloneHeader parse(ByteReader& r) {
+    const std::byte* p = r.raw(kSize);
+    const std::uint8_t type = load_u8(p, 0);
+    if (type < static_cast<std::uint8_t>(MsgType::kRequest) ||
+        type > static_cast<std::uint8_t>(MsgType::kCancel)) {
+      throw CodecError{"bad NetClone TYPE"};
+    }
+    const std::uint8_t clo = load_u8(p, 1);
+    if (clo > 2) {
+      throw CodecError{"bad NetClone CLO"};
+    }
+    NetCloneHeader h;
+    h.type = static_cast<MsgType>(type);
+    h.clo = static_cast<CloneStatus>(clo);
+    h.grp = load_u16(p, 2);
+    h.req_id = load_u32(p, 4);
+    h.sid = load_u8(p, 8);
+    h.state = load_u16(p, 9);
+    h.idx = load_u8(p, 11);
+    h.switch_id = load_u8(p, 12);
+    h.client_id = load_u16(p, 13);
+    h.client_seq = load_u32(p, 15);
+    h.frag_idx = load_u8(p, 19);
+    h.frag_count = load_u8(p, 20);
+    if (h.frag_count == 0 || h.frag_idx >= h.frag_count) {
+      throw CodecError{"bad NetClone fragment fields"};
+    }
+    return h;
+  }
 
   [[nodiscard]] bool is_request() const {
     return type == MsgType::kRequest || type == MsgType::kWriteRequest;

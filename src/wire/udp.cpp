@@ -2,34 +2,14 @@
 
 namespace netclone::wire {
 
-void UdpHeader::serialize(ByteWriter& w) const {
-  w.u16(src_port);
-  w.u16(dst_port);
-  w.u16(length);
-  w.u16(checksum);
-}
-
-UdpHeader UdpHeader::parse(ByteReader& r) {
-  UdpHeader h;
-  h.src_port = r.u16();
-  h.dst_port = r.u16();
-  h.length = r.u16();
-  h.checksum = r.u16();
-  return h;
-}
-
 std::uint16_t udp_checksum(Ipv4Address src, Ipv4Address dst,
                            std::span<const std::byte> udp_segment) {
-  // Pseudo-header: src, dst, zero, proto, UDP length.
-  Frame pseudo;
-  pseudo.reserve(12);
-  ByteWriter w{pseudo};
-  w.u32(src.value);
-  w.u32(dst.value);
-  w.u8(0);
-  w.u8(static_cast<std::uint8_t>(IpProto::kUdp));
-  w.u16(static_cast<std::uint16_t>(udp_segment.size()));
-  const std::uint32_t sum = checksum_accumulate(pseudo, 0);
+  // Pseudo-header (src, dst, zero, proto, UDP length) accumulated as
+  // 16-bit words directly — no buffer needed.
+  const std::uint32_t sum = (src.value >> 16) + (src.value & 0xFFFFU) +
+                            (dst.value >> 16) + (dst.value & 0xFFFFU) +
+                            static_cast<std::uint32_t>(IpProto::kUdp) +
+                            static_cast<std::uint32_t>(udp_segment.size());
   std::uint16_t result = internet_checksum(udp_segment, sum);
   // Per RFC 768 a computed zero is transmitted as all-ones.
   return result == 0 ? static_cast<std::uint16_t>(0xFFFF) : result;

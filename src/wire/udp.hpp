@@ -20,8 +20,23 @@ struct UdpHeader {
   std::uint16_t length = 0;  // header + payload
   std::uint16_t checksum = 0;
 
-  void serialize(ByteWriter& w) const;
-  [[nodiscard]] static UdpHeader parse(ByteReader& r);
+  // Inline: the header codecs are the per-hop inner loop of the simulator.
+  void serialize(ByteWriter& w) const {
+    std::byte* p = w.raw(kSize);
+    store_u16(p, 0, src_port);
+    store_u16(p, 2, dst_port);
+    store_u16(p, 4, length);
+    store_u16(p, 6, checksum);
+  }
+  [[nodiscard]] static UdpHeader parse(ByteReader& r) {
+    const std::byte* p = r.raw(kSize);
+    UdpHeader h;
+    h.src_port = load_u16(p, 0);
+    h.dst_port = load_u16(p, 2);
+    h.length = load_u16(p, 4);
+    h.checksum = load_u16(p, 6);
+    return h;
+  }
 };
 
 /// Computes the UDP checksum over pseudo-header + UDP header + payload.

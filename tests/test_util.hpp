@@ -19,12 +19,14 @@ class CaptureNode : public phys::Node {
   explicit CaptureNode(std::string name = "capture")
       : phys::Node(std::move(name)) {}
 
-  void handle_frame(std::size_t port, wire::Frame frame) override {
-    received.push_back({port, std::move(frame)});
+  void handle_frame(std::size_t port, wire::FrameHandle frame) override {
+    // Linearize at the observation boundary so assertions compare plain
+    // byte vectors regardless of how the frame was shared upstream.
+    received.push_back({port, frame.to_frame()});
   }
 
   /// Transmits a frame out of a port (protected in Node).
-  void transmit(std::size_t port, wire::Frame frame) {
+  void transmit(std::size_t port, wire::FrameHandle frame) {
     send(port, std::move(frame));
   }
 
