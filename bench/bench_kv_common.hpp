@@ -11,7 +11,8 @@
 
 namespace netclone::bench {
 
-inline int run_kv_figure(const char* figure, const kv::KvCostProfile& profile) {
+inline int run_kv_figure(const char* figure,
+                         const kv::KvCostProfile& profile) {
   std::printf("%s: %s, 1M objects, Zipf-0.99, 6 servers x 8 workers\n",
               figure, profile.name.c_str());
 

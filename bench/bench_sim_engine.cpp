@@ -280,8 +280,9 @@ int main(int argc, char** argv) {
   std::ofstream json(json_path);
   json << "{\n  \"bench\": \"sim_engine\",\n  \"unit\": \"events_per_second\"";
   for (const Row& row : rows) {
-    json << ",\n  \"" << row.name << "\": " << static_cast<std::uint64_t>(row.arena_eps)
-         << ",\n  \"" << row.name
+    json << ",\n  \"" << row.name
+         << "\": " << static_cast<std::uint64_t>(row.arena_eps) << ",\n  \""
+         << row.name
          << "_legacy\": " << static_cast<std::uint64_t>(row.legacy_eps);
   }
   json << "\n}\n";

@@ -66,7 +66,7 @@ class Link {
   SimTime busy_until_ = SimTime::zero();
   std::size_t queued_ = 0;
   bool up_ = true;
-  std::uint64_t epoch_ = 0;  // bumped on set_up(false) to void in-flight frames
+  std::uint64_t epoch_ = 0;  // bumped on set_up(false): voids in-flight
   LinkStats stats_;
 };
 

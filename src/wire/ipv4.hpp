@@ -101,7 +101,7 @@ struct Ipv4Header {
 
 /// Accumulates 16-bit big-endian words of `data` into a running sum (no
 /// final fold); combine with internet_checksum(..., sum) pseudo-header use.
-[[nodiscard]] std::uint32_t checksum_accumulate(std::span<const std::byte> data,
-                                                std::uint32_t sum);
+[[nodiscard]] std::uint32_t checksum_accumulate(
+    std::span<const std::byte> data, std::uint32_t sum);
 
 }  // namespace netclone::wire
