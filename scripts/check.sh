@@ -2,10 +2,13 @@
 # Full verification: build + tests, then the same suite under ASan and
 # UBSan. This is the bar for merging changes to the wire/framebuf layer
 # (refcounts, copy-on-write, in-place patching) — a leak or UB there is
-# invisible to the functional tests.
+# invisible to the functional tests. The sanitizer builds also compile
+# the per-pass pipeline legality checks in (NETCLONE_PIPELINE_CHECKS
+# AUTO), so the full run covers both check modes.
 #
 # Usage: scripts/check.sh [--fast]
-#   --fast: skip the sanitizer builds (plain build + ctest only)
+#   --fast: plain build + the tier-1 test suite only (skips the
+#           sanitizer builds and the slow-labelled tests)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -14,21 +17,26 @@ FAST=0
 [[ "${1:-}" == "--fast" ]] && FAST=1
 
 run_suite() {
-  local name="$1" dir="$2"
-  shift 2
+  local name="$1" dir="$2" label="$3"
+  shift 3
   echo "=== ${name}: configure ==="
   cmake -B "${dir}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo "$@"
   echo "=== ${name}: build ==="
   cmake --build "${dir}" -j "${JOBS}"
   echo "=== ${name}: ctest ==="
-  ctest --test-dir "${dir}" -j "${JOBS}" --output-on-failure
+  local ctest_args=(--test-dir "${dir}" -j "${JOBS}" --output-on-failure)
+  [[ -n "${label}" ]] && ctest_args+=(-L "${label}")
+  ctest "${ctest_args[@]}"
 }
 
-run_suite "plain" build
-
-if [[ "${FAST}" == "0" ]]; then
-  run_suite "asan" build-asan -DNETCLONE_SANITIZE=address
-  run_suite "ubsan" build-ubsan -DNETCLONE_SANITIZE=undefined
+if [[ "${FAST}" == "1" ]]; then
+  run_suite "plain (tier1)" build tier1
+  echo "=== fast checks passed (tier1 only; run without --fast before merging) ==="
+  exit 0
 fi
+
+run_suite "plain" build ""
+run_suite "asan" build-asan "" -DNETCLONE_SANITIZE=address
+run_suite "ubsan" build-ubsan "" -DNETCLONE_SANITIZE=undefined
 
 echo "=== all checks passed ==="

@@ -13,7 +13,7 @@ void L3ForwardProgram::add_route(wire::Ipv4Address ip, std::size_t port) {
 void L3ForwardProgram::on_ingress(wire::Packet& pkt,
                                   pisa::PacketMetadata& md,
                                   pisa::PipelinePass& pass) {
-  const auto port = fwd_table_.lookup(pass, pkt.ip.dst.value);
+  const auto* port = fwd_table_.find(pass, pkt.ip.dst.value);
   if (!port) {
     ++stats_.missing_route_drops;
     md.drop = true;

@@ -78,8 +78,8 @@ void LaedgeCoordinator::admit_request(wire::Packet&& pkt) {
   ++stats_.requests;
   const wire::NetCloneHeader& nc = pkt.nc();
   const std::uint64_t key = request_key(nc.client_id, nc.client_seq);
-  requests_[key] =
-      RequestState{pkt.ip.src, pkt.udp.src_port, /*copies=*/0, false};
+  requests_.insert_or_assign(
+      key, RequestState{pkt.ip.src, pkt.udp.src_port, /*copies=*/0, false});
 
   const std::vector<std::size_t> idle = idle_workers();
   if (idle.empty()) {
@@ -118,7 +118,9 @@ void LaedgeCoordinator::dispatch(const wire::Packet& pkt, std::size_t w) {
 
   const std::uint64_t key =
       request_key(out.nc().client_id, out.nc().client_seq);
-  ++requests_[key].copies_outstanding;
+  if (RequestState* state = requests_.find(key)) {
+    ++state->copies_outstanding;  // always present: admit_request inserts
+  }
 
   // Transmit path: each copy occupies the CPU again before hitting the NIC.
   // Both clone copies of a request share the payload bytes of the original
@@ -142,9 +144,8 @@ void LaedgeCoordinator::on_response(wire::Packet&& pkt) {
   }
 
   const std::uint64_t key = request_key(nc.client_id, nc.client_seq);
-  auto it = requests_.find(key);
-  if (it != requests_.end()) {
-    RequestState& state = it->second;
+  if (RequestState* found = requests_.find(key)) {
+    RequestState& state = *found;
     if (state.copies_outstanding > 0) {
       --state.copies_outstanding;
     }
@@ -165,7 +166,7 @@ void LaedgeCoordinator::on_response(wire::Packet&& pkt) {
       ++stats_.absorbed_duplicates;  // slower clone: CPU paid, then dropped
     }
     if (state.copies_outstanding == 0) {
-      requests_.erase(it);
+      requests_.erase(key);
     }
   }
 

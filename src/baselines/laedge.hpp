@@ -16,9 +16,9 @@
 
 #include <cstdint>
 #include <deque>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "host/addressing.hpp"
@@ -103,7 +103,9 @@ class LaedgeCoordinator : public phys::Node {
   SimTime cpu_busy_until_ = SimTime::zero();
   std::vector<std::uint32_t> outstanding_;  // per worker
   std::deque<wire::Packet> pending_;
-  std::unordered_map<std::uint64_t, RequestState> requests_;
+  /// Outstanding requests keyed by (client_id, client_seq) — on the
+  /// coordinator's per-packet critical path, hence the flat table.
+  FlatMap64<RequestState> requests_;
   LaedgeStats stats_;
 };
 

@@ -79,7 +79,7 @@ void NetCloneRackSchedProgram::handle_request(wire::Packet& pkt,
   if (md.is_recirculated) {
     nc.clo = wire::CloneStatus::kClonedCopy;
     ++stats_.recirculated_clones;
-    const auto entry = addr_table_.lookup(pass, nc.sid);
+    const auto* entry = addr_table_.find(pass, nc.sid);
     if (!entry) {
       ++stats_.missing_route_drops;
       md.drop = true;
@@ -93,7 +93,7 @@ void NetCloneRackSchedProgram::handle_request(wire::Packet& pkt,
   ++stats_.requests;
   nc.req_id = seq_.execute(pass, [](std::uint32_t& c) { return ++c; });
 
-  const auto pair = grp_table_.lookup(pass, nc.grp);
+  const auto* pair = grp_table_.find(pass, nc.grp);
   if (!pair) {
     ++stats_.missing_route_drops;
     md.drop = true;
@@ -107,7 +107,7 @@ void NetCloneRackSchedProgram::handle_request(wire::Packet& pkt,
     // Both candidate queues empty: clone as plain NetClone would.
     nc.clo = wire::CloneStatus::kClonedOriginal;
     nc.sid = pair->srv2;
-    const auto entry1 = addr_table_.lookup(pass, pair->srv1);
+    const auto* entry1 = addr_table_.find(pass, pair->srv1);
     if (!entry1) {
       ++stats_.missing_route_drops;
       md.drop = true;
@@ -122,7 +122,7 @@ void NetCloneRackSchedProgram::handle_request(wire::Packet& pkt,
   // RackSched fallback: join the shorter tracked queue (ties -> srv1).
   ++stats_.jsq_fallbacks;
   const std::uint8_t winner = l2 < l1 ? pair->srv2 : pair->srv1;
-  const auto entry = addr_table_.lookup(pass, winner);
+  const auto* entry = addr_table_.find(pass, winner);
   if (!entry) {
     ++stats_.missing_route_drops;
     md.drop = true;
@@ -166,7 +166,7 @@ void NetCloneRackSchedProgram::handle_response(wire::Packet& pkt,
 void NetCloneRackSchedProgram::forward_to(wire::Ipv4Address ip,
                                           pisa::PacketMetadata& md,
                                           pisa::PipelinePass& pass) {
-  const auto port = fwd_table_.lookup(pass, ip.value);
+  const auto* port = fwd_table_.find(pass, ip.value);
   if (!port) {
     ++stats_.missing_route_drops;
     md.drop = true;

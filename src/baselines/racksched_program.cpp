@@ -28,7 +28,7 @@ void RackSchedProgram::on_ingress(wire::Packet& pkt,
                                   pisa::PacketMetadata& md,
                                   pisa::PipelinePass& pass) {
   if (!pkt.has_netclone()) {
-    const auto port = fwd_table_.lookup(pass, pkt.ip.dst.value);
+    const auto* port = fwd_table_.find(pass, pkt.ip.dst.value);
     if (!port) {
       ++stats_.missing_route_drops;
       md.drop = true;
@@ -43,7 +43,7 @@ void RackSchedProgram::on_ingress(wire::Packet& pkt,
     return;
   }
   if (nc.is_cancel()) {
-    const auto out = fwd_table_.lookup(pass, pkt.ip.dst.value);
+    const auto* out = fwd_table_.find(pass, pkt.ip.dst.value);
     if (!out) {
       ++stats_.missing_route_drops;
       md.drop = true;
@@ -58,7 +58,7 @@ void RackSchedProgram::on_ingress(wire::Packet& pkt,
     load_table_.write(pass, nc.sid, nc.state);
     shadow_load_table_.write(pass, nc.sid, nc.state);
   }
-  const auto port = fwd_table_.lookup(pass, pkt.ip.dst.value);
+  const auto* port = fwd_table_.find(pass, pkt.ip.dst.value);
   if (!port) {
     ++stats_.missing_route_drops;
     md.drop = true;
@@ -90,14 +90,14 @@ void RackSchedProgram::handle_request(wire::Packet& pkt,
   if (l2 < l1) {
     ++stats_.second_choice_wins;
   }
-  const auto ip = addr_table_.lookup(pass, winner);
+  const auto* ip = addr_table_.find(pass, winner);
   if (!ip) {
     ++stats_.missing_route_drops;
     md.drop = true;
     return;
   }
   pkt.ip.dst = *ip;
-  const auto port = fwd_table_.lookup(pass, ip->value);
+  const auto* port = fwd_table_.find(pass, ip->value);
   if (!port) {
     ++stats_.missing_route_drops;
     md.drop = true;

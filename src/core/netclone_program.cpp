@@ -144,14 +144,14 @@ void NetCloneProgram::handle_request(wire::Packet& pkt,
                    "recirculated request must carry CLO=1");
     ++stats_.recirculated_clones;
     nc.clo = wire::CloneStatus::kClonedCopy;
-    const auto entry = addr_table_.lookup(pass, nc.sid);
+    const auto* entry = addr_table_.find(pass, nc.sid);
     if (!entry) {
       ++stats_.missing_route_drops;  // candidate removed mid-flight (§3.6)
       md.drop = true;
       return;
     }
     pkt.ip.dst = entry->ip;
-    const auto port = fwd_table_.lookup(pass, route_key(entry->ip));
+    const auto* port = fwd_table_.find(pass, route_key(entry->ip));
     if (!port) {
       ++stats_.missing_route_drops;
       md.drop = true;
@@ -176,13 +176,13 @@ void NetCloneProgram::handle_request(wire::Packet& pkt,
     // §5.5: writes are never cloned — coordination belongs to the
     // replication protocol. Route to the group's first candidate.
     ++stats_.write_requests;
-    const auto pair = grp_table_.lookup(pass, nc.grp);
+    const auto* pair = grp_table_.find(pass, nc.grp);
     if (!pair) {
       ++stats_.missing_route_drops;
       md.drop = true;
       return;
     }
-    const auto entry = addr_table_.lookup(pass, pair->srv1);
+    const auto* entry = addr_table_.find(pass, pair->srv1);
     if (!entry) {
       ++stats_.missing_route_drops;
       md.drop = true;
@@ -201,7 +201,7 @@ void NetCloneProgram::handle_request(wire::Packet& pkt,
   }
 
   // Line 4: group id -> ordered candidate pair.
-  const auto pair = grp_table_.lookup(pass, nc.grp);
+  const auto* pair = grp_table_.find(pass, nc.grp);
   if (!pair) {
     ++stats_.missing_route_drops;
     md.drop = true;
@@ -209,7 +209,7 @@ void NetCloneProgram::handle_request(wire::Packet& pkt,
   }
 
   // Line 5: the non-cloned destination is always the first candidate.
-  const auto entry1 = addr_table_.lookup(pass, pair->srv1);
+  const auto* entry1 = addr_table_.find(pass, pair->srv1);
   if (!entry1) {
     ++stats_.missing_route_drops;
     md.drop = true;
@@ -241,7 +241,7 @@ void NetCloneProgram::handle_request(wire::Packet& pkt,
     return;
   }
 
-  const auto port = fwd_table_.lookup(pass, route_key(entry1->ip));
+  const auto* port = fwd_table_.find(pass, route_key(entry1->ip));
   if (!port) {
     ++stats_.missing_route_drops;
     md.drop = true;
@@ -257,13 +257,13 @@ void NetCloneProgram::handle_continuation_fragment(
 
   // Affinity: the client keeps the group id constant across fragments, so
   // the first candidate is the same server fragment 0 was sent to.
-  const auto pair = grp_table_.lookup(pass, nc.grp);
+  const auto* pair = grp_table_.find(pass, nc.grp);
   if (!pair) {
     ++stats_.missing_route_drops;
     md.drop = true;
     return;
   }
-  const auto entry1 = addr_table_.lookup(pass, pair->srv1);
+  const auto* entry1 = addr_table_.find(pass, pair->srv1);
   if (!entry1) {
     ++stats_.missing_route_drops;
     md.drop = true;
@@ -294,7 +294,7 @@ void NetCloneProgram::handle_continuation_fragment(
     md.multicast_group = entry1->mcast_group;
     return;
   }
-  const auto port = fwd_table_.lookup(pass, route_key(entry1->ip));
+  const auto* port = fwd_table_.find(pass, route_key(entry1->ip));
   if (!port) {
     ++stats_.missing_route_drops;
     md.drop = true;
@@ -352,7 +352,7 @@ void NetCloneProgram::handle_response(wire::Packet& pkt,
 void NetCloneProgram::l3_forward(const wire::Packet& pkt,
                                  pisa::PacketMetadata& md,
                                  pisa::PipelinePass& pass) {
-  const auto port = fwd_table_.lookup(pass, route_key(pkt.ip.dst));
+  const auto* port = fwd_table_.find(pass, route_key(pkt.ip.dst));
   if (!port) {
     ++stats_.missing_route_drops;
     md.drop = true;

@@ -12,23 +12,52 @@
 //      table for two different servers is therefore impossible — exactly
 //      why the paper introduces the shadow table.
 //
-// Violations throw CheckFailure in all build modes: a program that violates
-// them would simply not compile for the ASIC, so no simulation result may
-// silently depend on such an access pattern.
+// Enforcement is a compile-time policy (NETCLONE_PIPELINE_CHECKS): checked
+// builds (Debug, sanitizers, the dedicated checked CI lane) validate every
+// access and throw CheckFailure on violations — a program that violates
+// them would simply not compile for the ASIC. Release builds compile the
+// per-access checks out: legality is a static property of the program's
+// access pattern, proven by running the full suite in the checked lanes,
+// so the release data plane only pays for the accesses themselves.
+// Construction-time checks (stage bounds, resource budget) and memory
+// safety checks (register index bounds) remain on in every build.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
 
 #include "common/check.hpp"
 
+// 1 = per-access legality checks (stage monotonicity, single access per
+// stateful resource per pass) are compiled in; 0 = compiled out. Normally
+// injected by CMake (option NETCLONE_PIPELINE_CHECKS, AUTO = on for Debug
+// and sanitizer builds); the fallback below covers non-CMake consumers.
+#ifndef NETCLONE_PIPELINE_CHECKS
+#ifdef NDEBUG
+#define NETCLONE_PIPELINE_CHECKS 0
+#else
+#define NETCLONE_PIPELINE_CHECKS 1
+#endif
+#endif
+
 namespace netclone::pisa {
 
+class PipelinePass;
 class StageResource;
 
 /// Tofino has 12 ingress match-action stages per pipeline.
 inline constexpr std::size_t kDefaultStageCount = 12;
+
+/// Upper bound on resources registered against one pipeline. Keeps the
+/// per-pass access bitset in a few inline words (kMaxResources / 64).
+inline constexpr std::size_t kMaxResources = 256;
+
+/// Whether this build validates per-access legality (see file header).
+[[nodiscard]] inline constexpr bool pipeline_checks_enabled() {
+  return NETCLONE_PIPELINE_CHECKS != 0;
+}
 
 class Pipeline {
  public:
@@ -40,7 +69,8 @@ class Pipeline {
 
   [[nodiscard]] std::size_t stage_count() const { return stage_count_; }
 
-  /// Called by StageResource's constructor.
+  /// Called by StageResource's constructor; assigns the resource its
+  /// dense per-pipeline index (the bit it owns in the per-pass bitset).
   void register_resource(StageResource* resource);
 
   [[nodiscard]] const std::vector<StageResource*>& resources() const {
@@ -52,7 +82,7 @@ class Pipeline {
   /// control-plane state and survive (the controller re-installs them).
   void reset_soft_state();
 
-  /// Monotonic pass-id source used to detect double access within a pass.
+  /// Monotonic pass-id source (trace correlation; see PipelinePass::id).
   [[nodiscard]] std::uint64_t next_pass_id() { return ++pass_counter_; }
 
  private:
@@ -61,29 +91,113 @@ class Pipeline {
   std::uint64_t pass_counter_ = 0;
 };
 
+/// Base class for data-plane resources: binds a named resource to a
+/// pipeline stage and to a dense index used by the per-pass access bitset.
+class StageResource {
+ public:
+  StageResource(Pipeline& pipeline, std::string name, std::size_t stage);
+  virtual ~StageResource() = default;
+
+  StageResource(const StageResource&) = delete;
+  StageResource& operator=(const StageResource&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::size_t stage() const { return stage_; }
+  /// Dense registration index within the owning pipeline.
+  [[nodiscard]] std::size_t index() const { return index_; }
+
+  /// SRAM footprint in bytes, for the resource auditor (§4.1).
+  [[nodiscard]] virtual std::size_t sram_bytes() const = 0;
+
+  /// Whether this is soft state wiped by a switch failure.
+  [[nodiscard]] virtual bool is_soft_state() const = 0;
+
+  /// Clears soft state (no-op for control-plane tables).
+  virtual void reset() = 0;
+
+ protected:
+  /// Every stateful data-plane entry point must call this first.
+  inline void record_access(PipelinePass& pass);
+  /// Stage-order-only variant for stateless units (hash, random).
+  inline void record_access_stateless(PipelinePass& pass);
+
+ private:
+  friend class Pipeline;
+  friend class PipelinePass;
+
+  std::string name_;
+  std::size_t stage_;
+  std::size_t index_ = 0;
+};
+
 /// One packet's traversal of the pipeline. Create one per packet, pass it
 /// to every data-plane resource access.
 class PipelinePass {
  public:
-  explicit PipelinePass(Pipeline& pipeline)
-      : pipeline_(pipeline), id_(pipeline.next_pass_id()) {}
+  explicit PipelinePass(Pipeline& pipeline) : id_(pipeline.next_pass_id()) {}
 
   [[nodiscard]] std::uint64_t id() const { return id_; }
 
   /// Validates and records an access to `resource` in its bound stage.
-  /// Throws CheckFailure if the access goes backwards or repeats.
-  void access(StageResource& resource);
+  /// Checked builds throw CheckFailure if the access goes backwards or
+  /// repeats; release builds compile this down to nothing.
+  inline void access(StageResource& resource);
 
   /// Stage-order check only, for stateless units (hash, random) that may
   /// produce several values for one packet within their stage.
-  void access_stateless(StageResource& resource);
+  inline void access_stateless(StageResource& resource);
 
+#if NETCLONE_PIPELINE_CHECKS
   [[nodiscard]] std::size_t current_stage() const { return current_stage_; }
+#endif
 
  private:
-  Pipeline& pipeline_;
+#if NETCLONE_PIPELINE_CHECKS
+  [[noreturn]] void fail_stage_order(const StageResource& resource) const;
+  [[noreturn]] static void fail_double_access(const StageResource& resource);
+#endif
+
   std::uint64_t id_;
+#if NETCLONE_PIPELINE_CHECKS
   std::size_t current_stage_ = 0;
+  std::array<std::uint64_t, kMaxResources / 64> accessed_{};
+#endif
 };
+
+inline void PipelinePass::access(StageResource& resource) {
+#if NETCLONE_PIPELINE_CHECKS
+  if (resource.stage_ < current_stage_) {
+    fail_stage_order(resource);
+  }
+  std::uint64_t& word = accessed_[resource.index_ >> 6U];
+  const std::uint64_t bit = std::uint64_t{1} << (resource.index_ & 63U);
+  if ((word & bit) != 0) {
+    fail_double_access(resource);
+  }
+  word |= bit;
+  current_stage_ = resource.stage_;
+#else
+  (void)resource;
+#endif
+}
+
+inline void PipelinePass::access_stateless(StageResource& resource) {
+#if NETCLONE_PIPELINE_CHECKS
+  if (resource.stage_ < current_stage_) {
+    fail_stage_order(resource);
+  }
+  current_stage_ = resource.stage_;
+#else
+  (void)resource;
+#endif
+}
+
+inline void StageResource::record_access(PipelinePass& pass) {
+  pass.access(*this);
+}
+
+inline void StageResource::record_access_stateless(PipelinePass& pass) {
+  pass.access_stateless(*this);
+}
 
 }  // namespace netclone::pisa

@@ -7,57 +7,31 @@
 //   * HashUnit — CRC hash computation (Tofino's hash engines).
 //   * RandomUnit — the ASIC's per-packet PRNG (used by RackSched's
 //     power-of-two-choices sampling).
+//
+// Everything on the data-plane path is header-inline: a resource access in
+// a release build is the operation itself (a flat-table probe, a register
+// read-modify-write) with no dispatch and — when the per-pass legality
+// checks are compiled out — no bookkeeping. See pipeline.hpp for the
+// check policy.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.hpp"
 #include "common/hash.hpp"
 #include "common/rng.hpp"
 #include "pisa/pipeline.hpp"
 
 namespace netclone::pisa {
 
-/// Base class: binds a named resource to a pipeline stage and tracks the
-/// last pass that touched it so double access can be detected.
-class StageResource {
- public:
-  StageResource(Pipeline& pipeline, std::string name, std::size_t stage);
-  virtual ~StageResource() = default;
-
-  StageResource(const StageResource&) = delete;
-  StageResource& operator=(const StageResource&) = delete;
-
-  [[nodiscard]] const std::string& name() const { return name_; }
-  [[nodiscard]] std::size_t stage() const { return stage_; }
-
-  /// SRAM footprint in bytes, for the resource auditor (§4.1).
-  [[nodiscard]] virtual std::size_t sram_bytes() const = 0;
-
-  /// Whether this is soft state wiped by a switch failure.
-  [[nodiscard]] virtual bool is_soft_state() const = 0;
-
-  /// Clears soft state (no-op for control-plane tables).
-  virtual void reset() = 0;
-
- protected:
-  /// Every data-plane entry point must call this first.
-  void record_access(PipelinePass& pass);
-
- private:
-  friend class PipelinePass;
-
-  std::string name_;
-  std::size_t stage_;
-  std::uint64_t last_pass_id_ = 0;
-};
-
 /// Exact-match match-action table. Keys are 64-bit (wider keys are hashed
-/// down by the caller); values are small action-data structs.
+/// down by the caller); values are small action-data structs. Backed by a
+/// flat open-addressing table presized by the control plane (`capacity`),
+/// so a data-plane lookup is a mix64 probe into one contiguous array and
+/// the data plane never observes a rehash.
 template <typename Value>
 class ExactMatchTable final : public StageResource {
  public:
@@ -67,14 +41,16 @@ class ExactMatchTable final : public StageResource {
       : StageResource(pipeline, std::move(name), stage),
         capacity_(capacity),
         key_bytes_(key_bytes),
-        value_bytes_(value_bytes) {}
+        value_bytes_(value_bytes),
+        entries_(capacity) {}
 
   // -- control plane (no pass required; models runtime entry updates) -----
 
   void insert(std::uint64_t key, Value value) {
-    NETCLONE_CHECK(entries_.size() < capacity_ || entries_.contains(key),
-                   "table capacity exceeded: " + name());
-    entries_[key] = std::move(value);
+    NETCLONE_CHECK(
+        entries_.size() < capacity_ || entries_.find(key) != nullptr,
+        "table capacity exceeded: " + name());
+    entries_.insert_or_assign(key, std::move(value));
   }
 
   void erase(std::uint64_t key) { entries_.erase(key); }
@@ -83,15 +59,21 @@ class ExactMatchTable final : public StageResource {
 
   // -- data plane ----------------------------------------------------------
 
-  /// Single lookup per pass; returns nullopt on miss.
+  /// Single lookup per pass; returns nullptr on miss. The pointer is
+  /// stable until the next control-plane mutation.
+  [[nodiscard]] const Value* find(PipelinePass& pass, std::uint64_t key) {
+    record_access(pass);
+    return entries_.find(key);
+  }
+
+  /// Single lookup per pass; returns nullopt on miss (value copy).
   [[nodiscard]] std::optional<Value> lookup(PipelinePass& pass,
                                             std::uint64_t key) {
-    record_access(pass);
-    auto it = entries_.find(key);
-    if (it == entries_.end()) {
+    const Value* value = find(pass, key);
+    if (value == nullptr) {
       return std::nullopt;
     }
-    return it->second;
+    return *value;
   }
 
   [[nodiscard]] std::size_t sram_bytes() const override {
@@ -104,12 +86,14 @@ class ExactMatchTable final : public StageResource {
   std::size_t capacity_;
   std::size_t key_bytes_;
   std::size_t value_bytes_;
-  std::unordered_map<std::uint64_t, Value> entries_;
+  FlatMap64<Value> entries_;
 };
 
 /// Stateful register array. The only data-plane operation is `execute`,
 /// mirroring a Tofino RegisterAction: one indexed read-modify-write whose
-/// lambda body must be a simple ALU-expressible update.
+/// lambda body must be a simple ALU-expressible update. The index bounds
+/// check stays on in every build (memory safety); the single-access check
+/// follows the pipeline check policy.
 template <typename T>
 class RegisterArray final : public StageResource {
  public:
@@ -195,7 +179,11 @@ class HashUnit final : public StageResource {
 
   /// CRC32 of a 32-bit input reduced modulo `buckets`.
   [[nodiscard]] std::uint32_t hash32(PipelinePass& pass, std::uint32_t value,
-                                     std::uint32_t buckets);
+                                     std::uint32_t buckets) {
+    record_access_stateless(pass);
+    NETCLONE_CHECK(buckets > 0, "hash modulus must be positive");
+    return crc32_u32(value) % buckets;
+  }
 
   [[nodiscard]] std::size_t sram_bytes() const override { return 0; }
   [[nodiscard]] bool is_soft_state() const override { return false; }
@@ -211,7 +199,10 @@ class RandomUnit final : public StageResource {
 
   /// Uniform value in [0, bound).
   [[nodiscard]] std::uint32_t next_below(PipelinePass& pass,
-                                         std::uint32_t bound);
+                                         std::uint32_t bound) {
+    record_access_stateless(pass);
+    return static_cast<std::uint32_t>(rng_.next_below(bound));
+  }
 
   [[nodiscard]] std::size_t sram_bytes() const override { return 0; }
   [[nodiscard]] bool is_soft_state() const override { return false; }

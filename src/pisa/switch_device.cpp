@@ -23,12 +23,15 @@ std::size_t SwitchDevice::add_internal_port() {
 }
 
 void SwitchDevice::set_loopback_port(std::size_t port) {
-  loopback_ports_.insert(port);
+  if (port >= loopback_ports_.size()) {
+    loopback_ports_.resize(port + 1, false);
+  }
+  loopback_ports_[port] = true;
 }
 
 void SwitchDevice::configure_multicast_group(std::uint16_t group,
                                              std::vector<std::size_t> ports) {
-  mcast_groups_[group] = std::move(ports);
+  mcast_groups_.insert_or_assign(group, std::move(ports));
 }
 
 void SwitchDevice::fail() {
@@ -83,44 +86,51 @@ void SwitchDevice::process(std::size_t port, wire::FrameHandle frame,
     return;
   }
 
-  // Resolve output port set: PRE multicast group or unicast egress.
-  std::vector<std::size_t> out_ports;
+  // Resolve the output port set and schedule the egress after the fixed
+  // pipeline traversal latency. The deparser (serialize) runs exactly
+  // once; a multicast set then shares the resulting buffer across all
+  // output ports by reference count. The common unicast case carries its
+  // single port in the closure — no port-vector allocation per packet.
   if (md.multicast_group) {
-    auto it = mcast_groups_.find(*md.multicast_group);
-    if (it == mcast_groups_.end()) {
+    const std::vector<std::size_t>* ports =
+        mcast_groups_.find(*md.multicast_group);
+    if (ports == nullptr) {
       ++stats_.dropped_by_program;
       return;
     }
-    out_ports = it->second;
-    if (out_ports.size() > 1) {
-      stats_.multicast_copies += out_ports.size() - 1;
+    if (ports->size() > 1) {
+      stats_.multicast_copies += ports->size() - 1;
     }
+    sim_.schedule_after(params_.pipeline_latency,
+                        [this, out_ports = *ports,
+                         pkt = std::move(pkt)]() mutable {
+                          if (failed_) {
+                            ++stats_.dropped_while_failed;
+                            return;
+                          }
+                          const wire::FrameHandle bytes =
+                              pkt.serialize_pooled();
+                          for (const std::size_t p : out_ports) {
+                            emit(p, bytes);
+                          }
+                        });
   } else if (md.egress_port) {
-    out_ports.push_back(*md.egress_port);
+    sim_.schedule_after(params_.pipeline_latency,
+                        [this, port = *md.egress_port,
+                         pkt = std::move(pkt)]() mutable {
+                          if (failed_) {
+                            ++stats_.dropped_while_failed;
+                            return;
+                          }
+                          emit(port, pkt.serialize_pooled());
+                        });
   } else {
     ++stats_.dropped_by_program;  // program made no forwarding decision
-    return;
   }
-
-  // The packet leaves the pipeline after the fixed traversal latency. The
-  // deparser (serialize) runs exactly once; a multicast set then shares the
-  // resulting buffer across all output ports by reference count.
-  sim_.schedule_after(params_.pipeline_latency,
-                      [this, out_ports, pkt = std::move(pkt)]() mutable {
-                        if (failed_) {
-                          ++stats_.dropped_while_failed;
-                          return;
-                        }
-                        const wire::FrameHandle bytes =
-                            pkt.serialize_pooled();
-                        for (const std::size_t p : out_ports) {
-                          emit(p, bytes);
-                        }
-                      });
 }
 
 void SwitchDevice::emit(std::size_t port, wire::FrameHandle bytes) {
-  if (loopback_ports_.contains(port)) {
+  if (is_loopback(port)) {
     ++stats_.recirculated;
     sim_.schedule_after(
         params_.recirculation_latency,

@@ -4,10 +4,9 @@
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "common/flat_map.hpp"
 #include "phys/node.hpp"
 #include "pisa/pipeline.hpp"
 #include "pisa/program.hpp"
@@ -78,12 +77,17 @@ class SwitchDevice : public phys::Node {
   /// the deparser runs once per pipeline pass, not once per copy.
   void emit(std::size_t port, wire::FrameHandle bytes);
 
+  [[nodiscard]] bool is_loopback(std::size_t port) const {
+    return port < loopback_ports_.size() && loopback_ports_[port];
+  }
+
   sim::Scheduler& sim_;
   SwitchParams params_;
   Pipeline pipeline_;
   std::shared_ptr<SwitchProgram> program_;
-  std::unordered_set<std::size_t> loopback_ports_;
-  std::unordered_map<std::uint16_t, std::vector<std::size_t>> mcast_groups_;
+  /// Dense per-port loopback flags (ports are small dense integers).
+  std::vector<bool> loopback_ports_;
+  FlatMap64<std::vector<std::size_t>> mcast_groups_;
   std::size_t internal_ports_ = 0;
   bool failed_ = false;
   SwitchStats stats_;

@@ -6,6 +6,15 @@ namespace netclone::pisa {
 
 void TracingProgram::on_ingress(wire::Packet& pkt, PacketMetadata& md,
                                 PipelinePass& pass) {
+  if (!enabled_) [[likely]] {
+    inner_->on_ingress(pkt, md, pass);
+    return;
+  }
+  record_ingress(pkt, md, pass);
+}
+
+void TracingProgram::record_ingress(wire::Packet& pkt, PacketMetadata& md,
+                                    PipelinePass& pass) {
   TraceRecord record;
   record.pass_id = pass.id();
   record.recirculated = md.is_recirculated;

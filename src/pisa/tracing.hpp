@@ -1,6 +1,9 @@
 // Tracing decorator: wraps any SwitchProgram and records one structured
 // entry per packet — what arrived, what the program decided — in a bounded
-// ring. Costs nothing when not attached; meant for debugging and for the
+// ring. Costs nothing when not attached; when attached but disabled via
+// set_enabled(false), the per-packet cost is one predictable branch, so a
+// deployment can keep the decorator installed and flip tracing on around
+// the window of interest. Meant for debugging and for the
 // packet-walkthrough example.
 #pragma once
 
@@ -46,9 +49,18 @@ class TracingProgram final : public SwitchProgram {
   [[nodiscard]] std::uint64_t total_traced() const { return total_; }
   void clear() { records_.clear(); }
 
+  /// Suspends/resumes recording. While disabled, on_ingress delegates to
+  /// the wrapped program after a single well-predicted branch.
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
  private:
+  void record_ingress(wire::Packet& pkt, PacketMetadata& md,
+                      PipelinePass& pass);
+
   std::shared_ptr<SwitchProgram> inner_;
   std::size_t capacity_;
+  bool enabled_ = true;
   std::deque<TraceRecord> records_;
   std::uint64_t total_ = 0;
 };
