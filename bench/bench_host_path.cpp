@@ -1,0 +1,232 @@
+// Host data-path throughput: the zero-copy server path (PayloadRef
+// through the FCFS queue, scatter-gather responses) vs the legacy
+// copying path, measured three ways.
+//
+//   * per-request: a saturated dispatcher (one request every
+//     dispatch_cost) through a real Server on a real link, in requests
+//     per second of wall clock. Both sides run the identical topology;
+//     "legacy" disables the packet fast path, so every receive
+//     linearizes the frame and every response rebuilds its bytes from
+//     scratch. The fast path parses views into the pooled rx frame and
+//     emits responses as composed header+shared-tail frames.
+//   * fragmented responses: the same rig with 4-fragment responses
+//     (§3.7). Legacy serializes the full response once per fragment;
+//     the fast path serializes the body once and composes each
+//     fragment's fresh header block with the shared tail by refcount.
+//   * end-to-end: one Figure-7-style NetClone experiment wall-clocked
+//     with the fast path enabled vs disabled. Both runs must produce
+//     identical simulated results (the zero-copy path is
+//     byte-invisible); the digests land in the JSON and are gated
+//     exactly.
+//
+// Every timed section is best-of-3. Results land in BENCH_host_path.json.
+//
+// Usage: bench_host_path [output.json]  (default: BENCH_host_path.json)
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "bench_common.hpp"
+#include "common/check.hpp"
+#include "harness/experiment.hpp"
+#include "host/addressing.hpp"
+#include "host/server.hpp"
+#include "host/service.hpp"
+#include "host/workload.hpp"
+#include "phys/topology.hpp"
+#include "sim/simulator.hpp"
+#include "wire/frame.hpp"
+#include "wire/framebuf.hpp"
+
+using namespace netclone;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Counts and drops whatever the server sends back, and injects request
+/// frames — a client's wire presence without its bookkeeping.
+class DriverNode final : public phys::Node {
+ public:
+  DriverNode() : phys::Node("driver") {}
+
+  void handle_frame(std::size_t /*port*/,
+                    wire::FrameHandle frame) override {
+    ++responses;
+    bytes += frame.size();
+  }
+
+  void inject(wire::FrameHandle frame) { send(0, std::move(frame)); }
+
+  std::uint64_t responses = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// One NetClone request frame the way a client would build it.
+wire::FrameHandle request_frame() {
+  wire::NetCloneHeader nc;
+  nc.type = wire::MsgType::kRequest;
+  nc.grp = 1;
+  nc.client_id = 3;
+  nc.client_seq = 42;
+  wire::RpcRequest req;
+  req.op = wire::RpcOp::kSynthetic;
+  req.intrinsic_ns = 0;
+  return wire::FrameHandle{
+      make_netclone_packet(wire::MacAddress::from_node(0x0200U),
+                           wire::MacAddress::broadcast(),
+                           host::client_ip(3), host::server_ip(ServerId{1}),
+                           40003, nc, req.to_frame())
+          .serialize()};
+}
+
+/// Drives `n` requests through a Server at dispatcher line rate and
+/// returns wall-clock requests per second. The injected frame is shared
+/// (one buffer, refcount bumps) so the measurement isolates the server's
+/// rx-parse / queue / response-build path.
+double bench_server(bool fastpath, std::size_t n,
+                    std::uint8_t response_fragments) {
+  wire::set_packet_fastpath_enabled(fastpath);
+  sim::Simulator sim;
+  phys::Topology topo{sim};
+  host::ServerParams sp;
+  sp.sid = ServerId{1};
+  sp.workers = 16;
+  sp.response_fragments = response_fragments;
+  host::Server& server = topo.add_node<host::Server>(
+      sim, sp,
+      std::make_shared<host::SyntheticService>(host::JitterModel{0.0, 15.0}),
+      Rng{42});
+  DriverNode& driver = topo.add_node<DriverNode>();
+  topo.connect(driver, server);
+
+  const wire::FrameHandle frame = request_frame();
+  // Pace injections at the dispatcher's service rate: the server stays
+  // saturated, the link's drop-tail queue stays empty.
+  const SimTime pace = sp.dispatch_cost;
+  for (std::size_t i = 0; i < n; ++i) {
+    sim.schedule_at(pace * static_cast<std::int64_t>(i),
+                    [&driver, frame]() mutable {
+                      driver.inject(std::move(frame));
+                    });
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  sim.run();
+  const double elapsed = seconds_since(start);
+
+  NETCLONE_CHECK(server.stats().completed == n,
+                 "host-path bench lost requests");
+  NETCLONE_CHECK(driver.responses == n * response_fragments,
+                 "host-path bench lost response fragments");
+  wire::set_packet_fastpath_enabled(true);
+  return static_cast<double>(n) / elapsed;
+}
+
+/// One Figure-7-style point: NetClone scheme, Exp(25) workload, 80% load.
+harness::ExperimentResult run_fig7_point() {
+  harness::ClusterConfig cfg = bench::synthetic_cluster(
+      std::make_shared<host::ExponentialWorkload>(25.0),
+      bench::high_variability());
+  cfg.scheme = harness::Scheme::kNetClone;
+  cfg.warmup = SimTime::milliseconds(2);
+  cfg.measure = SimTime::milliseconds(20);
+  cfg.drain = SimTime::milliseconds(10);
+  cfg.offered_rps =
+      0.8 * bench::synthetic_capacity(cfg, 25.0, bench::high_variability());
+  harness::Experiment experiment{cfg};
+  return experiment.run();
+}
+
+template <typename Fn>
+double best_of_3(Fn&& fn) {
+  double best = 0.0;
+  for (int i = 0; i < 3; ++i) {
+    best = std::max(best, fn());
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_host_path.json";
+
+  constexpr std::size_t kRequests = 150000;
+  constexpr std::size_t kFragRequests = 80000;
+  constexpr std::uint8_t kFragments = 4;
+
+  std::printf("host path bench: best of 3\n\n");
+
+  const double req_legacy =
+      best_of_3([] { return bench_server(false, kRequests, 1); });
+  const double req_fast =
+      best_of_3([] { return bench_server(true, kRequests, 1); });
+  std::printf("per-request (rx parse + queue + response build):\n");
+  std::printf("  legacy : %12.0f req/s\n", req_legacy);
+  std::printf("  fast   : %12.0f req/s   (%.2fx)\n\n", req_fast,
+              req_fast / req_legacy);
+
+  const double frag_legacy = best_of_3(
+      [] { return bench_server(false, kFragRequests, kFragments); });
+  const double frag_fast = best_of_3(
+      [] { return bench_server(true, kFragRequests, kFragments); });
+  std::printf("fragmented responses (x%u scatter-gather):\n", kFragments);
+  std::printf("  legacy : %12.0f req/s\n", frag_legacy);
+  std::printf("  fast   : %12.0f req/s   (%.2fx)\n\n", frag_fast,
+              frag_fast / frag_legacy);
+
+  std::printf("end-to-end (fig7-style NetClone point, wall clock):\n");
+  wire::set_packet_fastpath_enabled(false);
+  auto start = std::chrono::steady_clock::now();
+  const harness::ExperimentResult res_legacy = run_fig7_point();
+  const double e2e_legacy_s = seconds_since(start);
+  wire::set_packet_fastpath_enabled(true);
+  start = std::chrono::steady_clock::now();
+  const harness::ExperimentResult res_fast = run_fig7_point();
+  const double e2e_fast_s = seconds_since(start);
+  // The zero-copy host path must be invisible in simulated results.
+  NETCLONE_CHECK(res_fast.completed == res_legacy.completed &&
+                     res_fast.p99 == res_legacy.p99,
+                 "zero-copy host path changed simulated behavior");
+  std::printf("  legacy : %8.3f s wall\n", e2e_legacy_s);
+  std::printf("  fast   : %8.3f s wall  (%llu completed, p99 %s)\n",
+              e2e_fast_s,
+              static_cast<unsigned long long>(res_fast.completed),
+              to_string(res_fast.p99).c_str());
+
+  const auto& pool = wire::FramePool::instance().stats();
+  std::printf("\npool: %llu acquires, %llu recycled (%.1f%%), %llu slabs\n",
+              static_cast<unsigned long long>(pool.acquired),
+              static_cast<unsigned long long>(pool.recycled),
+              pool.acquired > 0
+                  ? 100.0 * static_cast<double>(pool.recycled) /
+                        static_cast<double>(pool.acquired)
+                  : 0.0,
+              static_cast<unsigned long long>(pool.slabs_allocated));
+
+  std::ofstream out{out_path};
+  out << "{\n"
+      << "  \"bench\": \"host_path\",\n"
+      << "  \"unit\": \"requests_per_second\",\n"
+      << "  \"host_request_fast\": " << static_cast<std::uint64_t>(req_fast)
+      << ",\n"
+      << "  \"host_request_legacy\": "
+      << static_cast<std::uint64_t>(req_legacy) << ",\n"
+      << "  \"frag_response_fast\": "
+      << static_cast<std::uint64_t>(frag_fast) << ",\n"
+      << "  \"frag_response_legacy\": "
+      << static_cast<std::uint64_t>(frag_legacy) << ",\n"
+      << "  \"fig7_point_wall_seconds_fast\": " << e2e_fast_s << ",\n"
+      << "  \"fig7_point_wall_seconds_legacy\": " << e2e_legacy_s << ",\n"
+      << "  \"fig7_completed\": " << res_fast.completed << ",\n"
+      << "  \"fig7_p99_ns\": " << res_fast.p99.ns() << "\n"
+      << "}\n";
+  std::printf("\nwrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -2,8 +2,8 @@
 """Benchmark regression gate.
 
 Runs the repo's microbenchmarks (bench_sim_engine, bench_packet_path,
-bench_pisa_pipeline), compares the results against the committed
-BENCH_*.json baselines, and fails loudly on regression.
+bench_pisa_pipeline, bench_host_path), compares the results against the
+committed BENCH_*.json baselines, and fails loudly on regression.
 
 What is gated, and how:
 
@@ -37,7 +37,7 @@ import shutil
 import subprocess
 import sys
 
-BENCHES = ["sim_engine", "packet_path", "pisa_pipeline"]
+BENCHES = ["sim_engine", "packet_path", "pisa_pipeline", "host_path"]
 
 # Deterministic simulation digests: must match the baseline exactly.
 EXACT_KEYS = {"fig7_completed", "fig7_p99_ns", "pipeline_checks"}

@@ -30,22 +30,31 @@ void Server::handle_frame(std::size_t /*port*/, wire::FrameHandle frame) {
       (!pkt.nc().is_request() && !pkt.nc().is_cancel())) {
     return;  // servers only consume requests and cancels
   }
+  // Strip the packet down to what the host path needs: the NetClone
+  // header, the return route, and the payload as a zero-copy view (the
+  // view's keepalive pins the received frame; the headers' bytes are
+  // done with).
+  PendingRequest req;
+  req.nc = pkt.nc();
+  req.from = ResponseRoute{pkt.eth.src, pkt.ip.src, pkt.udp.src_port};
+  req.payload = std::move(pkt.payload);
   // The dispatcher thread is a serial resource: packets are picked up one
   // at a time, `dispatch_cost` apart when busy.
   const SimTime now = sim_.now();
   const SimTime start = std::max(now, dispatcher_busy_until_);
   dispatcher_busy_until_ = start + params_.dispatch_cost;
   sim_.schedule_at(dispatcher_busy_until_,
-                   [this, pkt = std::move(pkt)]() mutable {
-                     on_dispatch(std::move(pkt));
+                   [this, req = std::move(req)]() mutable {
+                     on_dispatch(std::move(req));
                    });
 }
 
 void Server::on_cancel(const wire::NetCloneHeader& nc) {
-  // Cancel only reaches into the waiting queue; a request already being
-  // executed runs to completion (no preemption, as in C-Clone practice).
+  // Cancel only reaches into the waiting queue and the reassembly table;
+  // a request already being executed runs to completion (no preemption,
+  // as in C-Clone practice).
   for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-    const wire::NetCloneHeader& queued = it->pkt.nc();
+    const wire::NetCloneHeader& queued = it->req.nc;
     if (queued.client_id == nc.client_id &&
         queued.client_seq == nc.client_seq) {
       queue_.erase(it);
@@ -53,19 +62,27 @@ void Server::on_cancel(const wire::NetCloneHeader& nc) {
       return;
     }
   }
+  // A matching partial reassembly (some fragments queued, some still in
+  // flight or dropped) would otherwise strand until the TTL sweep.
+  const std::uint64_t key =
+      static_cast<std::uint64_t>(nc.client_id) << 32 | nc.client_seq;
+  if (partials_.erase(key) > 0) {
+    ++stats_.cancelled_partials;
+    return;
+  }
   ++stats_.cancel_misses;
 }
 
-void Server::on_dispatch(wire::Packet pkt) {
+void Server::on_dispatch(PendingRequest req) {
   if ((++dispatch_counter_ & 0xFFFU) == 0 && !partials_.empty()) {
     sweep_stale_partials();
   }
-  if (pkt.nc().is_cancel()) {
-    on_cancel(pkt.nc());
+  if (req.nc.is_cancel()) {
+    on_cancel(req.nc);
     return;
   }
   ++stats_.rx_requests;
-  const wire::NetCloneHeader& nc = pkt.nc();
+  const wire::NetCloneHeader& nc = req.nc;
   // §3.4: the switch cloned this request believing we were idle. If the
   // server says otherwise the tracked state was stale — drop the copy. The
   // original (CLO=1) is never dropped. For multi-packet requests the check
@@ -82,34 +99,50 @@ void Server::on_dispatch(wire::Packet pkt) {
       return;
     }
   }
-  if (nc.multi_packet() && !reassemble(pkt)) {
+  if (nc.multi_packet() && !reassemble(req)) {
     return;  // waiting for more fragments
   }
-  queue_.push_back(QueueEntry{std::move(pkt), sim_.now()});
+  queue_.push_back(QueueEntry{std::move(req), sim_.now()});
   stats_.max_queue_depth = std::max(stats_.max_queue_depth, queue_.size());
   try_start_worker();
 }
 
-bool Server::reassemble(wire::Packet& pkt) {
-  const wire::NetCloneHeader& nc = pkt.nc();
+bool Server::reassemble(PendingRequest& req) {
+  const wire::NetCloneHeader& nc = req.nc;
   const std::uint64_t key =
       static_cast<std::uint64_t>(nc.client_id) << 32 | nc.client_seq;
   PartialRequest& partial = partials_[key];
-  if (partial.frag_mask == 0) {
-    partial.first_fragment = pkt;
-  }
-  partial.frag_mask |= std::uint64_t{1} << (nc.frag_idx & 63U);
   partial.last_update = sim_.now();
-  if (std::popcount(partial.frag_mask) <
-      static_cast<int>(nc.frag_count)) {
+  const std::uint64_t bit = std::uint64_t{1} << (nc.frag_idx & 63U);
+  if ((partial.frag_mask & bit) != 0) {
+    // This ordinal already arrived (an unfiltered duplicate or a
+    // retransmit overlap): count it, never double-set the mask — the
+    // popcount completion test must see each ordinal once.
+    ++stats_.duplicate_fragments;
     return false;
   }
-  // Complete: surface the first fragment (it carries the RPC payload and
-  // the CLO marking of the cloning decision) as the assembled request.
+  partial.frag_mask |= bit;
   const std::uint8_t frag_count = nc.frag_count;
-  pkt = std::move(partial.first_fragment);
-  pkt.nc().frag_idx = 0;
-  pkt.nc().frag_count = frag_count;
+  if (nc.frag_idx == 0) {
+    // The payload and the CLO marking of the cloning decision travel in
+    // fragment 0; pin it as the surfaced request regardless of arrival
+    // order (cloned paths and multipath reorder freely).
+    partial.root = std::move(req);
+    partial.have_root = true;
+  }
+  if (std::popcount(partial.frag_mask) < static_cast<int>(frag_count)) {
+    return false;
+  }
+  if (!partial.have_root) {
+    // Malformed: enough distinct ordinals but none was 0 (ordinals out
+    // of range). Drop the aggregation; the TTL sweep would otherwise.
+    partials_.erase(key);
+    return false;
+  }
+  // Complete: surface fragment 0 as the assembled request.
+  req = std::move(partial.root);
+  req.nc.frag_idx = 0;
+  req.nc.frag_count = frag_count;
   partials_.erase(key);
   ++stats_.reassembled_requests;
   return true;
@@ -131,48 +164,48 @@ void Server::try_start_worker() {
   if (busy_workers_ >= params_.workers || queue_.empty()) {
     return;
   }
-  wire::Packet pkt = std::move(queue_.front().pkt);
+  PendingRequest req = std::move(queue_.front().req);
   const SimTime queue_wait = sim_.now() - queue_.front().enqueued_at;
   stats_.queue_wait.record(queue_wait);
   queue_.pop_front();
   ++busy_workers_;
 
-  wire::RpcRequest req;
+  wire::RpcRequest rpc;
   try {
-    req = wire::RpcRequest::from_frame(pkt.payload);
+    rpc = wire::RpcRequest::from_frame(req.payload);
   } catch (const wire::CodecError&) {
     --busy_workers_;
     try_start_worker();
     return;
   }
-  const SimTime exec = service_->execution_time(req, rng_);
+  const SimTime exec = service_->execution_time(rpc, rng_);
   sim_.schedule_after(exec + params_.response_tx_cost,
                       [this, queue_wait, exec,
-                       pkt = std::move(pkt)]() mutable {
-                        on_complete(std::move(pkt), queue_wait, exec);
+                       req = std::move(req)]() mutable {
+                        on_complete(std::move(req), queue_wait, exec);
                       });
 }
 
-void Server::on_complete(wire::Packet pkt, SimTime queue_wait,
+void Server::on_complete(PendingRequest req, SimTime queue_wait,
                          SimTime service) {
   ++stats_.completed;
 
-  wire::RpcRequest req{};
+  wire::RpcRequest rpc{};
   try {
-    req = wire::RpcRequest::from_frame(pkt.payload);
+    rpc = wire::RpcRequest::from_frame(req.payload);
   } catch (const wire::CodecError&) {
     // unreachable: parsed successfully before execution
   }
 
   wire::Packet resp;
   resp.eth.src = my_mac_;
-  resp.eth.dst = pkt.eth.src;
+  resp.eth.dst = req.from.mac;
   resp.ip.src = my_ip_;
-  resp.ip.dst = pkt.ip.src;  // back to whoever sent the request
+  resp.ip.dst = req.from.ip;  // back to whoever sent the request
   resp.udp.src_port = wire::kNetClonePort;
-  resp.udp.dst_port = pkt.udp.src_port;
+  resp.udp.dst_port = req.from.udp_port;
 
-  wire::NetCloneHeader nc = pkt.nc();
+  wire::NetCloneHeader nc = req.nc;
   nc.type = wire::MsgType::kResponse;
   nc.sid = value_of(params_.sid);
   // Piggyback the *current* queue length — the state signal of §3.4. The
@@ -181,14 +214,21 @@ void Server::on_complete(wire::Packet pkt, SimTime queue_wait,
       std::min<std::size_t>(queue_.size(), 0xFFFF));
   nc.state = qlen;
   resp.netclone = nc;
-  wire::RpcResponse body = service_->execute(req);
+  wire::RpcResponse body = service_->execute(rpc);
   // Latency decomposition for the client (clamped to the field width;
   // 4.2 s of queueing would mean something far worse than truncation).
   body.queue_wait_ns = static_cast<std::uint32_t>(
       std::min<std::int64_t>(queue_wait.ns(), 0xFFFFFFFFLL));
   body.service_ns = static_cast<std::uint32_t>(
       std::min<std::int64_t>(service.ns(), 0xFFFFFFFFLL));
-  resp.payload = body.to_frame();
+  // The request payload view is done with; drop its pin on the received
+  // frame before the response outlives it.
+  req.payload.clear();
+  // Serialize the body ONCE into a shared pooled tail; every fragment
+  // below composes its freshly built header block with this buffer by
+  // refcount — the body bytes are never copied again.
+  const wire::SharedPayload tail = wire::SharedPayload::of(body.to_frame());
+  resp.payload = tail.ref();
 
   ++stats_.responses_total;
   if (qlen == 0) {
@@ -198,26 +238,27 @@ void Server::on_complete(wire::Packet pkt, SimTime queue_wait,
   if (params_.response_fragments <= 1) {
     resp.nc().frag_idx = 0;
     resp.nc().frag_count = 1;
-    send(0, resp.serialize_pooled());
+    send(0, resp.serialize_sg(tail));
   } else {
-    for (std::uint8_t f = 0; f < params_.response_fragments; ++f) {
-      send_response_fragment(resp, f);
+    // Fragment 0 carries the body; the rest are header-only markers the
+    // switch filters through its ordered tables. One burst, one armed
+    // delivery event on the egress link.
+    burst_.clear();
+    resp.nc().frag_count = params_.response_fragments;
+    resp.nc().frag_idx = 0;
+    burst_.push_back(resp.serialize_sg(tail));
+    resp.payload.clear();
+    const wire::SharedPayload empty{};
+    for (std::uint8_t f = 1; f < params_.response_fragments; ++f) {
+      resp.nc().frag_idx = f;
+      burst_.push_back(resp.serialize_sg(empty));
     }
+    send_burst(0, burst_);
+    burst_.clear();
   }
 
   --busy_workers_;
   try_start_worker();
-}
-
-void Server::send_response_fragment(const wire::Packet& resp,
-                                    std::uint8_t frag_idx) {
-  wire::Packet fragment = resp;
-  fragment.nc().frag_idx = frag_idx;
-  fragment.nc().frag_count = params_.response_fragments;
-  if (frag_idx > 0) {
-    fragment.payload.clear();  // the payload travels in fragment 0
-  }
-  send(0, fragment.serialize_pooled());
 }
 
 }  // namespace netclone::host

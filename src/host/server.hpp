@@ -7,11 +7,20 @@
 //     dropped — the tracked switch state was stale;
 //   * every response piggybacks the current queue length in STATE, which is
 //     how the switch learns server idleness.
+//
+// The data path is zero-copy end to end: a request's payload rides through
+// the FCFS queue and the reassembly table as a wire::PayloadRef view
+// pinning the received frame (never copied), and responses are built
+// scatter-gather — the body is serialized once into a shared pooled tail,
+// and each fragment is a freshly built header block composed with that
+// tail by refcount. Packet::serialize() remains the byte oracle both are
+// tested against.
 #pragma once
 
 #include <deque>
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "common/histogram.hpp"
 #include "common/rng.hpp"
@@ -69,10 +78,15 @@ struct ServerStats {
   std::size_t max_queue_depth = 0;
   /// Multi-packet requests fully reassembled and executed.
   std::uint64_t reassembled_requests = 0;
+  /// Fragments whose ordinal had already arrived for the same request
+  /// (a duplicate that slipped past filtering, or a retransmit overlap).
+  std::uint64_t duplicate_fragments = 0;
   /// Partial reassemblies expired because a fragment never arrived.
   std::uint64_t expired_partials = 0;
   /// Queued requests removed by a client cancellation (C-Clone cancel).
   std::uint64_t cancelled_requests = 0;
+  /// In-progress partial reassemblies removed by a client cancellation.
+  std::uint64_t cancelled_partials = 0;
   /// Cancels that matched nothing (request in service or already done).
   std::uint64_t cancel_misses = 0;
   /// Time requests spent waiting in the FCFS queue before a worker took
@@ -93,26 +107,42 @@ class Server : public phys::Node {
   [[nodiscard]] std::uint32_t busy_workers() const { return busy_workers_; }
 
  private:
+  /// Where the response must go, captured when the request is parsed so
+  /// the full Packet (and its backing handle) need not ride the queue.
+  struct ResponseRoute {
+    wire::MacAddress mac{};
+    wire::Ipv4Address ip{};
+    std::uint16_t udp_port = 0;
+  };
+  /// A request in flight through dispatch, reassembly, and the FCFS
+  /// queue: just the NetClone header, the return route, and the payload
+  /// as a refcounted zero-copy view of the received frame.
+  struct PendingRequest {
+    wire::NetCloneHeader nc{};
+    ResponseRoute from{};
+    wire::PayloadRef payload{};
+  };
   struct PartialRequest {
-    wire::Packet first_fragment;
+    /// Fragment 0 — the fragment carrying the RPC payload and the CLO
+    /// marking of the cloning decision — regardless of arrival order.
+    PendingRequest root{};
+    bool have_root = false;
     std::uint64_t frag_mask = 0;
     SimTime last_update;
   };
   struct QueueEntry {
-    wire::Packet pkt;
+    PendingRequest req;
     SimTime enqueued_at;
   };
 
-  void on_dispatch(wire::Packet pkt);
+  void on_dispatch(PendingRequest req);
   void on_cancel(const wire::NetCloneHeader& nc);
-  /// Returns true when all fragments arrived; `pkt` then holds the
-  /// reassembled request.
-  bool reassemble(wire::Packet& pkt);
+  /// Returns true when all fragments arrived; `req` then holds the
+  /// reassembled request (fragment 0's payload and CLO marking).
+  bool reassemble(PendingRequest& req);
   void sweep_stale_partials();
   void try_start_worker();
-  void on_complete(wire::Packet pkt, SimTime queue_wait, SimTime service);
-  void send_response_fragment(const wire::Packet& resp,
-                              std::uint8_t frag_idx);
+  void on_complete(PendingRequest req, SimTime queue_wait, SimTime service);
 
   sim::Scheduler& sim_;
   ServerParams params_;
@@ -126,6 +156,8 @@ class Server : public phys::Node {
   std::unordered_map<std::uint64_t, PartialRequest> partials_;
   std::uint64_t dispatch_counter_ = 0;
   std::uint32_t busy_workers_ = 0;
+  /// Scratch for fragmented responses, reused across completions.
+  std::vector<wire::FrameHandle> burst_;
   ServerStats stats_;
 };
 

@@ -12,6 +12,8 @@ Link::Link(sim::Scheduler& scheduler, LinkParams params)
   NETCLONE_CHECK(params_.rate_bps > 0.0, "link rate must be positive");
 }
 
+Link::~Link() { sim_.cancel(delivery_event_); }
+
 void Link::connect_to(Node* dst, std::size_t dst_port) {
   NETCLONE_CHECK(dst_ == nullptr, "link already connected");
   dst_ = dst;
@@ -37,26 +39,43 @@ void Link::transmit(wire::FrameHandle frame) {
   const SimTime start = busy_until_ > now ? busy_until_ : now;
   const SimTime tx = serialization_time(frame.size());
   busy_until_ = start + tx;
-  if (start > now) {
+  const bool counted_queued = start > now;
+  if (counted_queued) {
     ++queued_;
   }
   ++stats_.tx_frames;
   stats_.tx_bytes += frame.size();
 
   const SimTime deliver_at = busy_until_ + params_.delay;
-  const std::uint64_t epoch = epoch_;
-  sim_.schedule_at(
-      deliver_at,
-      [this, epoch, started_queued = start > now,
-       payload = std::move(frame)]() mutable {
-        if (started_queued && queued_ > 0) {
-          --queued_;
-        }
-        if (!up_ || epoch != epoch_) {
-          return;  // link went down while the frame was in flight
-        }
-        dst_->handle_frame(dst_port_, std::move(payload));
-      });
+  pending_.push_back(InFlight{deliver_at, sim_.reserve_seq(),
+                              counted_queued, std::move(frame)});
+  if (pending_.size() == 1) {
+    arm_head();
+  }
+  // A deeper FIFO already has the event armed for its head; this frame's
+  // turn comes when delivery reaches it, under the seq reserved above.
+}
+
+void Link::arm_head() {
+  const InFlight& head = pending_.front();
+  delivery_event_ = sim_.schedule_at_seq(head.deliver_at, head.seq,
+                                         [this] { deliver_head(); });
+}
+
+void Link::deliver_head() {
+  delivery_event_ = sim::EventId{};
+  InFlight entry = std::move(pending_.front());
+  pending_.pop_front();
+  if (entry.counted_queued) {
+    NETCLONE_CHECK(queued_ > 0, "link drop-tail occupancy underflow");
+    --queued_;
+  }
+  // Rearm before delivering: handle_frame may reentrantly transmit on
+  // this link, and it must find the FIFO consistent with the armed event.
+  if (!pending_.empty()) {
+    arm_head();
+  }
+  dst_->handle_frame(dst_port_, std::move(entry.frame));
 }
 
 void Link::set_up(bool up) {
@@ -65,7 +84,13 @@ void Link::set_up(bool up) {
   }
   up_ = up;
   if (!up) {
-    ++epoch_;
+    // Everything in flight is lost with the cable; clearing the FIFO here
+    // (instead of letting per-frame events fire into a revived link) is
+    // what keeps the new-epoch drop-tail occupancy exact.
+    stats_.flushed_frames += pending_.size();
+    sim_.cancel(delivery_event_);
+    delivery_event_ = sim::EventId{};
+    pending_.clear();
     queued_ = 0;
     busy_until_ = sim_.now();
   }

@@ -6,9 +6,21 @@
 //   * propagation + fixed PHY/NIC latency: `delay`;
 //   * a bounded egress queue: frames arriving while `capacity` frames are
 //     already waiting are dropped (drop-tail), as on a real ToR port.
+//
+// Delivery is batched: in-flight frames wait in a per-link FIFO and a
+// single scheduler event is armed for the earliest delivery, so a busy
+// link holds one pending event no matter how deep its queue — transmit
+// is a deque push plus a tie-break sequence reservation. Each firing
+// delivers the head frame and rearms for the next under the sequence
+// number reserved at its transmit, so same-timestamp ordering across
+// links is bit-for-bit what eager per-frame scheduling would produce.
+// Taking the link down simply clears the FIFO, which is also what makes
+// a down/up cycle safe: no stale per-frame events survive to corrupt the
+// revived link's drop-tail occupancy.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 
 #include "sim/scheduler.hpp"
 #include "wire/framebuf.hpp"
@@ -30,11 +42,14 @@ struct LinkStats {
   std::uint64_t tx_frames = 0;
   std::uint64_t tx_bytes = 0;
   std::uint64_t dropped_frames = 0;
+  /// Frames lost because the link went down while they were in flight.
+  std::uint64_t flushed_frames = 0;
 };
 
 class Link {
  public:
   Link(sim::Scheduler& scheduler, LinkParams params);
+  ~Link();
 
   Link(const Link&) = delete;
   Link& operator=(const Link&) = delete;
@@ -44,7 +59,7 @@ class Link {
   void connect_to(Node* dst, std::size_t dst_port);
 
   /// Enqueues a frame for transmission; may drop if the queue is full.
-  /// The handle is moved into the in-flight event — no byte copies; a
+  /// The handle is moved into the in-flight FIFO — no byte copies; a
   /// multicast emit passes one shared handle per link.
   void transmit(wire::FrameHandle frame);
 
@@ -53,11 +68,28 @@ class Link {
   void set_up(bool up);
   [[nodiscard]] bool is_up() const { return up_; }
 
+  /// In-flight + queued frames awaiting delivery (at most one scheduler
+  /// event is pending for all of them).
+  [[nodiscard]] std::size_t in_flight() const { return pending_.size(); }
+
   [[nodiscard]] const LinkStats& stats() const { return stats_; }
   [[nodiscard]] const LinkParams& params() const { return params_; }
 
  private:
+  struct InFlight {
+    SimTime deliver_at;
+    /// Tie-break sequence reserved at transmit time; arming the delivery
+    /// event under it keeps batching invisible to the determinism
+    /// contract.
+    std::uint64_t seq;
+    bool counted_queued;  // holds a drop-tail occupancy slot until delivery
+    wire::FrameHandle frame;
+  };
+
   [[nodiscard]] SimTime serialization_time(std::size_t bytes) const;
+  /// Arms the delivery event for the FIFO head (which must exist).
+  void arm_head();
+  void deliver_head();
 
   sim::Scheduler& sim_;
   LinkParams params_;
@@ -66,7 +98,8 @@ class Link {
   SimTime busy_until_ = SimTime::zero();
   std::size_t queued_ = 0;
   bool up_ = true;
-  std::uint64_t epoch_ = 0;  // bumped on set_up(false): voids in-flight
+  std::deque<InFlight> pending_;
+  sim::EventId delivery_event_{};
   LinkStats stats_;
 };
 

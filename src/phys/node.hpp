@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -39,6 +40,12 @@ class Node {
   /// Transmits a frame out of `port`. Silently counts (and drops) frames
   /// sent on an unattached port — that models unplugged cables, not a bug.
   void send(std::size_t port, wire::FrameHandle frame);
+
+  /// Transmits a run of frames out of `port` back-to-back: one egress
+  /// lookup for the whole batch, and the link's batched FIFO arms at most
+  /// one delivery event for all of them. The handles are moved out of
+  /// `frames`. Fragmented responses use this.
+  void send_burst(std::size_t port, std::span<wire::FrameHandle> frames);
 
  private:
   std::string name_;

@@ -35,6 +35,23 @@ class EventArena {
   /// Stores an event and orders it behind everything earlier (ties break
   /// by insertion order — the determinism contract).
   EventId insert(SimTime when, EventCallback&& callback) {
+    return insert_at_seq(when, reserve_seq(), std::move(callback));
+  }
+
+  /// Draws the next scheduling sequence number without storing an event.
+  /// A reserved number holds its place in the same-timestamp tie order
+  /// until insert_at_seq materializes it — deferred schedulers (the link
+  /// delivery FIFO) stay bit-for-bit equivalent to eager per-item
+  /// scheduling this way.
+  [[nodiscard]] std::uint64_t reserve_seq() {
+    NETCLONE_CHECK(next_seq_ < kMaxSeq, "event sequence space exhausted");
+    return next_seq_++;
+  }
+
+  /// insert(), but with a tie-break sequence number reserved earlier via
+  /// reserve_seq(). Each reserved number must be used at most once.
+  EventId insert_at_seq(SimTime when, std::uint64_t seq,
+                        EventCallback&& callback) {
     std::uint32_t index;
     if (free_head_ != kNilSlot) {
       index = free_head_;
@@ -44,9 +61,8 @@ class EventArena {
       index = static_cast<std::uint32_t>(slots_.size());
       slots_.emplace_back();
     }
-    NETCLONE_CHECK(next_seq_ < kMaxSeq, "event sequence space exhausted");
     Slot& slot = slots_[index];
-    slot.key = (next_seq_++ << kSlotBits) | index;
+    slot.key = (seq << kSlotBits) | index;
     slot.live = true;
     slot.callback = std::move(callback);
 

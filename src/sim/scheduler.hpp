@@ -169,6 +169,21 @@ class Scheduler {
   /// Schedules `action` at absolute time `when` (must not be in the past).
   virtual EventId schedule_at(SimTime when, EventCallback action) = 0;
 
+  /// Reserves the next tie-break sequence number without scheduling
+  /// anything. A component that knows *now* that an event will exist but
+  /// materializes it later (the link delivery FIFO arms one event for a
+  /// whole queue of frames) reserves at decision time and passes the
+  /// number to schedule_at_seq — same-timestamp ordering then matches
+  /// what eager per-item schedule_at calls would have produced, keeping
+  /// runs bit-for-bit reproducible. Each reservation consumes one number
+  /// whether or not it is ever materialized.
+  [[nodiscard]] virtual std::uint64_t reserve_seq() = 0;
+
+  /// schedule_at() with a previously reserved tie-break number. A
+  /// reserved number must be used at most once.
+  virtual EventId schedule_at_seq(SimTime when, std::uint64_t seq,
+                                  EventCallback action) = 0;
+
   /// Schedules `action` after `delay` (must be non-negative).
   EventId schedule_after(SimTime delay, EventCallback action) {
     NETCLONE_CHECK(delay >= SimTime::zero(), "negative delay");

@@ -38,6 +38,18 @@ class Simulator final : public Scheduler {
     return events_.insert(when, std::move(action));
   }
 
+  /// Reserves the next tie-break sequence number (see Scheduler).
+  [[nodiscard]] std::uint64_t reserve_seq() override {
+    return events_.reserve_seq();
+  }
+
+  /// Schedules `action` under a previously reserved tie-break number.
+  EventId schedule_at_seq(SimTime when, std::uint64_t seq,
+                          EventCallback action) override {
+    NETCLONE_CHECK(when >= now_, "cannot schedule an event in the past");
+    return events_.insert_at_seq(when, seq, std::move(action));
+  }
+
   /// Cancels a pending event in O(1), destroying its callback. Cancelling
   /// an already-fired or already-cancelled event is a harmless no-op.
   void cancel(EventId id) override { events_.cancel(id); }

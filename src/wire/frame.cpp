@@ -95,6 +95,18 @@ Packet parse_headers(ByteReader& r) {
 
 }  // namespace
 
+SharedPayload SharedPayload::of(std::span<const std::byte> bytes) {
+  SharedPayload tail;
+  if (bytes.empty()) {
+    return tail;
+  }
+  tail.frame = FrameHandle::copy_of(bytes);
+  // internet_checksum returns the complemented fold; undo the complement
+  // to keep the raw folded sum fragments add their header deltas to.
+  tail.folded_sum = static_cast<std::uint16_t>(~internet_checksum(bytes));
+  return tail;
+}
+
 Packet Packet::parse(std::span<const std::byte> frame) {
   ByteReader r{frame};
   Packet pkt = parse_headers(r);
@@ -297,6 +309,53 @@ bool Packet::patch_backing() {
     netclone->serialize(w);
   }
   return true;
+}
+
+FrameHandle Packet::serialize_sg(const SharedPayload& tail) const {
+  NETCLONE_CHECK(payload.size() == tail.size(),
+                 "packet payload does not match the scatter-gather tail");
+  if (!packet_fastpath_enabled()) {
+    return FrameHandle{serialize()};  // legacy baseline: full rebuild
+  }
+  const std::size_t hdr = header_size();
+  const std::size_t total = hdr + tail.size();
+  FrameHandle head = FrameHandle::allocate(hdr);
+  std::byte* dst = head.writable_all();
+  ByteWriter w{std::span<std::byte>{dst, hdr}};
+  eth.serialize(w);
+  Ipv4Header ip_fixed = ip;
+  ip_fixed.total_length =
+      static_cast<std::uint16_t>(total - EthernetHeader::kSize);
+  ip_fixed.serialize(w);
+  UdpHeader udp_fixed = udp;
+  udp_fixed.length = static_cast<std::uint16_t>(total - kUdpOff);
+  udp_fixed.checksum = 0;
+  udp_fixed.serialize(w);
+  if (netclone) {
+    netclone->serialize(w);
+  }
+  NETCLONE_CHECK(w.written() == hdr, "scatter-gather header size mismatch");
+  // UDP checksum = pseudo-header + header block + precomputed tail sum.
+  // The tail's sum was folded at even alignment; when the payload starts
+  // at an odd offset within the UDP segment every byte pair is swapped,
+  // and so is the sum (RFC 1071 §2(B)).
+  std::uint16_t tail_sum = tail.folded_sum;
+  if (((hdr - kUdpOff) & 1U) != 0) {
+    tail_sum = static_cast<std::uint16_t>(tail_sum << 8 | tail_sum >> 8);
+  }
+  const std::uint32_t pseudo =
+      (ip.src.value >> 16) + (ip.src.value & 0xFFFFU) +
+      (ip.dst.value >> 16) + (ip.dst.value & 0xFFFFU) +
+      static_cast<std::uint32_t>(IpProto::kUdp) +
+      static_cast<std::uint32_t>(total - kUdpOff);
+  std::uint16_t csum = internet_checksum(
+      std::span<const std::byte>{dst + kUdpOff, hdr - kUdpOff},
+      pseudo + tail_sum);
+  if (csum == 0) {
+    csum = 0xFFFF;  // RFC 768: computed zero is transmitted as all-ones
+  }
+  write_u16_at(dst, kUdpCsumOff, csum);
+  return FrameHandle::compose(std::move(head), tail.frame);
 }
 
 FrameHandle Packet::build_pooled() const {

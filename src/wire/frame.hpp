@@ -29,6 +29,28 @@
 
 namespace netclone::wire {
 
+/// A payload serialized once into its own pooled buffer, shared by
+/// refcount across every frame composed from it — the scatter-gather
+/// tail of a multi-fragment response. The one's-complement sum of the
+/// bytes is precomputed so each fragment's UDP checksum only has to
+/// cover its freshly built header block.
+struct SharedPayload {
+  FrameHandle frame{};
+  /// Folded RFC 1071 one's-complement sum of the bytes, as if the
+  /// payload started at an even offset. serialize_sg() byte-swaps it
+  /// when the payload lands at an odd offset in the UDP segment
+  /// (RFC 1071 §2(B): swapping every byte pair swaps the sum).
+  std::uint16_t folded_sum = 0;
+
+  [[nodiscard]] static SharedPayload of(std::span<const std::byte> bytes);
+
+  [[nodiscard]] std::size_t size() const { return frame.size(); }
+  /// The bytes as a zero-copy PayloadRef view pinning the buffer.
+  [[nodiscard]] PayloadRef ref() const {
+    return frame ? PayloadRef{frame, frame.bytes()} : PayloadRef{};
+  }
+};
+
 class Packet {
  public:
   EthernetHeader eth{};
@@ -59,6 +81,16 @@ class Packet {
   /// The returned handle shares bytes with this packet's backing, so
   /// emitting to N ports is N refcount bumps, not N frames.
   [[nodiscard]] FrameHandle serialize_pooled();
+
+  /// Scatter-gather serialization: builds a fresh header block and
+  /// composes it with `tail`'s shared buffer — the payload bytes are
+  /// never copied, and emitting N fragments of one response costs N
+  /// small header builds plus N refcount bumps on the tail. The packet's
+  /// `payload` must hold the same bytes as `tail` (a view from
+  /// tail.ref(), typically); the result is byte-identical to
+  /// serialize(). Falls back to the legacy rebuild when the fast path
+  /// is disabled.
+  [[nodiscard]] FrameHandle serialize_sg(const SharedPayload& tail) const;
 
   [[nodiscard]] bool has_netclone() const { return netclone.has_value(); }
 

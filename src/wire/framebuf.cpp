@@ -100,6 +100,23 @@ FrameHandle FrameHandle::copy_of(std::span<const std::byte> bytes) {
   return h;
 }
 
+FrameHandle FrameHandle::compose(FrameHandle head, const FrameHandle& tail) {
+  NETCLONE_CHECK(head.body_ != nullptr && !head.split() &&
+                     head.body_->refs == 1,
+                 "scatter-gather head must be a unique, unsplit block");
+  NETCLONE_CHECK(head.size() <= kMaxHeaderRegion,
+                 "scatter-gather head exceeds the header region");
+  if (tail.body_ == nullptr || tail.size() == 0) {
+    return head;  // nothing to gather; the head alone stays contiguous
+  }
+  NETCLONE_CHECK(!tail.split(),
+                 "scatter-gather tail must be contiguous");
+  add_ref(tail.body_);
+  FrameHandle out{head.body_, tail.body_, tail.body_off_};
+  head.body_ = nullptr;  // the single head reference moved into `out`
+  return out;
+}
+
 Frame FrameHandle::to_frame() const {
   Frame out(size());
   if (!out.empty()) {

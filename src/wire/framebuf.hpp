@@ -169,6 +169,15 @@ class FrameHandle {
                                             std::size_t size);
   [[nodiscard]] static FrameHandle copy_of(std::span<const std::byte> bytes);
 
+  /// Composes a scatter-gather frame: `head` (a unique, unsplit header
+  /// block of at most kMaxHeaderRegion bytes) followed by `tail`, whose
+  /// buffer is shared by refcount — never copied. The result is a split
+  /// handle whose split boundary is the head/tail boundary, so a receiver
+  /// parsing it takes the split fast path. An empty tail returns `head`
+  /// unchanged (still contiguous). `tail` must itself be unsplit.
+  [[nodiscard]] static FrameHandle compose(FrameHandle head,
+                                           const FrameHandle& tail);
+
   [[nodiscard]] std::size_t size() const {
     if (body_ == nullptr) {
       return 0;

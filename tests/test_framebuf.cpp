@@ -471,5 +471,142 @@ TEST(PacketFastpath, UdpChecksumZeroWrapMatchesOracle) {
   EXPECT_GT(wraps, 100) << "construction should hit the wrap most rounds";
 }
 
+// -- scatter-gather composition ---------------------------------------------
+
+TEST(FrameHandleCompose, JoinsHeadWithRefcountSharedTail) {
+  FramePool pool;
+  const Frame head_bytes = bytes_of({1, 2, 3, 4});
+  const Frame tail_bytes_v = bytes_of({9, 8, 7, 6, 5});
+  FrameHandle head = FrameHandle::allocate(pool, head_bytes.size());
+  std::copy(head_bytes.begin(), head_bytes.end(), head.writable_all());
+  FrameHandle tail = FrameHandle::allocate(pool, tail_bytes_v.size());
+  std::copy(tail_bytes_v.begin(), tail_bytes_v.end(), tail.writable_all());
+  const std::byte* tail_data = tail.bytes().data();
+
+  FrameHandle joined = FrameHandle::compose(std::move(head), tail);
+  EXPECT_TRUE(joined.split());
+  // The tail bytes are shared, not copied.
+  EXPECT_EQ(joined.tail_bytes().data(), tail_data);
+  Frame expected = head_bytes;
+  expected.insert(expected.end(), tail_bytes_v.begin(), tail_bytes_v.end());
+  EXPECT_EQ(joined.to_frame(), expected);
+
+  // Both buffers stay live until every reference drops.
+  EXPECT_EQ(pool.stats().live, 2U);
+  tail.reset();
+  EXPECT_EQ(pool.stats().live, 2U);  // joined still pins the tail
+  joined.reset();
+  EXPECT_EQ(pool.stats().live, 0U);
+}
+
+TEST(FrameHandleCompose, EmptyTailStaysContiguous) {
+  FramePool pool;
+  FrameHandle head = FrameHandle::allocate(pool, 3);
+  std::memset(head.writable_all(), 0x5A, 3);
+  const FrameHandle joined = FrameHandle::compose(std::move(head),
+                                                  FrameHandle{});
+  EXPECT_FALSE(joined.split());
+  EXPECT_EQ(joined.size(), 3U);
+}
+
+TEST(FrameHandleCompose, RejectsSharedOrSplitHead) {
+  FramePool pool;
+  FrameHandle tail = FrameHandle::allocate(pool, 4);
+  std::memset(tail.writable_all(), 1, 4);
+  FrameHandle head = FrameHandle::allocate(pool, 4);
+  std::memset(head.writable_all(), 2, 4);
+  const FrameHandle alias = head;  // head no longer unique
+  EXPECT_THROW((void)FrameHandle::compose(std::move(head), tail),
+               CheckFailure);
+  (void)alias;
+}
+
+Packet sg_packet(Rng& rng, const SharedPayload& tail) {
+  Packet pkt = sample_packet(rng, 0);
+  pkt.payload = tail.ref();
+  return pkt;
+}
+
+TEST(PacketScatterGather, ComposedSerializeMatchesOracle) {
+  Rng rng{0x56A7};
+  // Sizes straddle the odd payload offset inside the UDP segment (the
+  // NetClone header region is 63 bytes, so the tail sum is byte-swapped)
+  // and the empty-tail degenerate case.
+  for (const std::size_t size : {0U, 1U, 2U, 7U, 64U, 333U}) {
+    for (int round = 0; round < 50; ++round) {
+      const Frame payload = random_payload(rng, size);
+      const SharedPayload tail = SharedPayload::of(payload);
+      Packet pkt = sg_packet(rng, tail);
+      mutate_like_switch(pkt, rng);
+
+      const Frame expected = pkt.serialize();  // legacy byte oracle
+      const FrameHandle fast = pkt.serialize_sg(tail);
+      ASSERT_EQ(fast.to_frame(), expected)
+          << "size " << size << " round " << round;
+      EXPECT_TRUE(Packet::parse(expected).ip.checksum_valid());
+    }
+  }
+}
+
+TEST(PacketScatterGather, EvenPayloadOffsetMatchesOracle) {
+  // Without a NetClone header the payload starts 8 bytes into the UDP
+  // segment — the no-byte-swap branch of the tail checksum fold.
+  Rng rng{0x0FF5};
+  for (int round = 0; round < 100; ++round) {
+    Packet pkt = sample_packet(rng, 0);
+    pkt.netclone.reset();
+    pkt.udp.src_port = 40001;  // keep both ports off kNetClonePort
+    pkt.udp.dst_port = 40002;
+    const Frame payload = random_payload(rng, 1 + rng.next_below(128));
+    const SharedPayload tail = SharedPayload::of(payload);
+    pkt.payload = tail.ref();
+
+    const Frame expected = pkt.serialize();
+    ASSERT_EQ(pkt.serialize_sg(tail).to_frame(), expected)
+        << "round " << round;
+  }
+}
+
+TEST(PacketScatterGather, FragmentFanOutSharesOneTailBuffer) {
+  Rng rng{0x5639};
+  const Frame payload = random_payload(rng, 96);
+  const SharedPayload tail = SharedPayload::of(payload);
+  Packet pkt = sg_packet(rng, tail);
+  pkt.nc().frag_count = 3;
+
+  pkt.nc().frag_idx = 0;
+  const FrameHandle f0 = pkt.serialize_sg(tail);
+  pkt.nc().frag_idx = 1;
+  const FrameHandle f1 = pkt.serialize_sg(tail);
+  // Every fragment's tail aliases the one shared body buffer.
+  EXPECT_EQ(f0.tail_bytes().data(), tail.frame.bytes().data());
+  EXPECT_EQ(f1.tail_bytes().data(), tail.frame.bytes().data());
+  // And each still matches its own oracle despite the shared tail.
+  pkt.nc().frag_idx = 0;
+  EXPECT_EQ(f0.to_frame(), pkt.serialize());
+  pkt.nc().frag_idx = 1;
+  EXPECT_EQ(f1.to_frame(), pkt.serialize());
+}
+
+TEST(PacketScatterGather, DisabledToggleFallsBackToLegacy) {
+  FastpathGuard guard{false};
+  Rng rng{0x70FF};
+  const Frame payload = random_payload(rng, 40);
+  const SharedPayload tail = SharedPayload::of(payload);
+  Packet pkt = sg_packet(rng, tail);
+  const FrameHandle out = pkt.serialize_sg(tail);
+  EXPECT_FALSE(out.split());  // full rebuild, nothing shared
+  EXPECT_EQ(out.to_frame(), pkt.serialize());
+}
+
+TEST(PacketScatterGather, MismatchedTailSizeThrows) {
+  Rng rng{0xBAD5};
+  const Frame payload = random_payload(rng, 16);
+  const SharedPayload tail = SharedPayload::of(payload);
+  Packet pkt = sg_packet(rng, tail);
+  pkt.payload = PayloadRef{};  // payload no longer matches the tail
+  EXPECT_THROW((void)pkt.serialize_sg(tail), CheckFailure);
+}
+
 }  // namespace
 }  // namespace netclone::wire
