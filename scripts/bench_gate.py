@@ -37,10 +37,18 @@ import shutil
 import subprocess
 import sys
 
-BENCHES = ["sim_engine", "packet_path", "pisa_pipeline", "host_path"]
+BENCHES = ["sim_engine", "packet_path", "pisa_pipeline", "host_path",
+           "fig16"]
+
+# Bench names whose binary is not simply bench_<name>.
+BINARIES = {"fig16": "bench_fig16_failure"}
 
 # Deterministic simulation digests: must match the baseline exactly.
-EXACT_KEYS = {"fig7_completed", "fig7_p99_ns", "pipeline_checks"}
+# The fig16 keys come from that bench's fault-free control run, so they
+# are bit-exact on any machine; its faulted-run counters (recovery time,
+# lost/duplicated requests) are reported as info rows.
+EXACT_KEYS = {"fig7_completed", "fig7_p99_ns", "pipeline_checks",
+              "fig16_nofault_completed", "fig16_nofault_digest"}
 
 # Informational keys that are neither ratios nor digests.
 SKIP_KEYS = {"bench", "unit"}
@@ -199,9 +207,10 @@ def main():
     all_rows = []
     failures = []
     for bench in BENCHES:
-        binary = find_binary(args.build_dir, f"bench_{bench}")
+        binary_name = BINARIES.get(bench, f"bench_{bench}")
+        binary = find_binary(args.build_dir, binary_name)
         if binary is None:
-            failures.append(f"bench_{bench}: binary not found under "
+            failures.append(f"{binary_name}: binary not found under "
                             f"{args.build_dir}")
             continue
         out_path = os.path.join(out_dir, f"BENCH_{bench}.json")

@@ -6,11 +6,15 @@
 # queue, scatter-gather responses) — a leak or UB there is invisible to
 # the functional tests. The sanitizer builds also compile
 # the per-pass pipeline legality checks in (NETCLONE_PIPELINE_CHECKS
-# AUTO), so the full run covers both check modes.
+# AUTO), so the full run covers both check modes. The slow-labelled
+# 100-combo chaos sweep (fault injection + invariant auditor +
+# determinism digests) rides in every full suite, so it runs under both
+# sanitizers before a merge.
 #
 # Usage: scripts/check.sh [--fast]
-#   --fast: plain build + the tier-1 test suite only (skips the
-#           sanitizer builds and the slow-labelled tests)
+#   --fast: plain build + the tier-1 test suite, then the full chaos
+#           sweep on the plain build (skips the sanitizer builds and
+#           the other slow-labelled tests)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -33,7 +37,9 @@ run_suite() {
 
 if [[ "${FAST}" == "1" ]]; then
   run_suite "plain (tier1)" build tier1
-  echo "=== fast checks passed (tier1 only; run without --fast before merging) ==="
+  echo "=== plain: full chaos sweep ==="
+  ctest --test-dir build -j "${JOBS}" --output-on-failure -R ChaosSweepFull
+  echo "=== fast checks passed (tier1 + chaos sweep; run without --fast before merging) ==="
   exit 0
 fi
 

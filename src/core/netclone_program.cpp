@@ -76,6 +76,15 @@ void NetCloneProgram::remove_server(ServerId sid) {
   // update the clients' group count (§3.6).
 }
 
+void NetCloneProgram::inject_stale_filter_entry(std::size_t table,
+                                                std::uint32_t req_id) {
+  NETCLONE_CHECK(table < filter_tables_.size(), "filter table out of range");
+  NETCLONE_CHECK(req_id != 0, "0 means empty; not a plantable fingerprint");
+  const std::uint32_t slot = filter_hash(req_id, config_.filter_slots);
+  filter_tables_[table]->poke_write(slot, req_id);
+  ++stats_.injected_stale_entries;
+}
+
 std::uint32_t NetCloneProgram::filter_hash(std::uint32_t req_id,
                                            std::size_t slots) {
   return crc32_u32(req_id) % static_cast<std::uint32_t>(slots);

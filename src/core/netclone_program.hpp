@@ -82,6 +82,9 @@ struct NetCloneProgramStats {
   std::uint64_t write_requests = 0;       // forwarded uncloned (§5.5)
   std::uint64_t continuation_fragments = 0;  // multi-packet follow-ups
   std::uint64_t cloned_fragments = 0;     // follow-ups cloned via ClonedReqT
+  /// Fault injection: fingerprints planted by inject_stale_filter_entry.
+  /// The auditor's filtering invariant widens by this amount.
+  std::uint64_t injected_stale_entries = 0;
 };
 
 class NetCloneProgram final : public pisa::SwitchProgram {
@@ -105,6 +108,13 @@ class NetCloneProgram final : public pisa::SwitchProgram {
   /// Removes a failed worker from cloning decisions (§3.6): erases its
   /// address entry and the groups referencing it.
   void remove_server(ServerId sid);
+
+  /// Fault injection: plants `req_id` as a fingerprint in filter table
+  /// `table` at the slot the hash would pick — exactly the residue a
+  /// lost response or a mid-run reboot can leave behind. The next
+  /// response hashing there is wrongly filtered (§3.5's collision case),
+  /// which the end-to-end retransmit path must absorb.
+  void inject_stale_filter_entry(std::size_t table, std::uint32_t req_id);
 
   // -- data plane -----------------------------------------------------------
 

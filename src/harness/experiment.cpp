@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "common/hash.hpp"
 #include "core/groups.hpp"
 #include "sim/simulator.hpp"
 
@@ -27,6 +28,18 @@ const char* scheme_name(Scheme scheme) {
   }
   return "?";
 }
+
+namespace {
+
+/// "s3"-style node name. Built by append rather than operator+ to dodge
+/// a GCC 12 -Wrestrict false positive on char* + to_string temporaries.
+std::string node_name(char prefix, std::size_t index) {
+  std::string name(1, prefix);
+  name += std::to_string(index);
+  return name;
+}
+
+}  // namespace
 
 double cluster_capacity_rps(const std::vector<std::uint32_t>& server_workers,
                             double mean_service_us) {
@@ -117,6 +130,7 @@ void Experiment::build() {
     auto& server = topology_->add_node<host::Server>(
         *sim_, sp, config_.service, root_rng_.fork());
     const auto ports = topology_->connect(server, *switch_);
+    record_link(node_name('s', i), "sw0", ports);
     const wire::Ipv4Address ip = host::server_ip(sid);
     server_ips.push_back(ip);
     servers_.push_back(&server);
@@ -158,6 +172,7 @@ void Experiment::build() {
     coordinator_ = &topology_->add_node<baselines::LaedgeCoordinator>(
         *sim_, lp, root_rng_.fork());
     const auto ports = topology_->connect(*coordinator_, *switch_);
+    record_link("co0", "sw0", ports);
     l3_program_->add_route(host::coordinator_ip(), ports.port_on_b);
   }
 
@@ -193,6 +208,7 @@ void Experiment::build() {
     auto& client = topology_->add_node<host::Client>(
         *sim_, cp, config_.factory, root_rng_.fork());
     const auto ports = topology_->connect(client, *switch_);
+    record_link(node_name('c', c), "sw0", ports);
     const wire::Ipv4Address ip = host::client_ip(cp.client_id);
     if (uses_netclone) {
       controller_->add_route(ip, ports.port_on_b);
@@ -204,6 +220,109 @@ void Experiment::build() {
       l3_program_->add_route(ip, ports.port_on_b);
     }
     clients_.push_back(&client);
+  }
+
+  install_fault_plan(config_.faults);
+}
+
+void Experiment::record_link(const std::string& a, const std::string& b,
+                             const phys::DuplexPorts& ports) {
+  links_.emplace_back(a + "-" + b, ports.a_to_b);
+  links_.emplace_back(b + "-" + a, ports.b_to_a);
+}
+
+std::uint64_t Experiment::impairment_seed(const std::string& name) const {
+  return mix64(config_.seed ^ fnv1a(std::string_view{name}));
+}
+
+phys::Link* Experiment::link(const std::string& name) const {
+  for (const auto& [key, link] : links_) {
+    if (key == name) {
+      return link;
+    }
+  }
+  return nullptr;
+}
+
+void Experiment::install_fault_plan(const FaultPlan& plan) {
+  for (const FaultEvent& event : plan.events) {
+    sim_->schedule_at(event.at, [this, event] { apply_fault(event); });
+  }
+}
+
+void Experiment::apply_fault(const FaultEvent& event) {
+  const auto parse_server = [this](const std::string& target) {
+    NETCLONE_CHECK(target.size() >= 2 && target[0] == 's',
+                   "bad server target: " + target);
+    const std::size_t index =
+        static_cast<std::size_t>(std::stoul(target.substr(1)));
+    NETCLONE_CHECK(index < servers_.size(),
+                   "server target out of range: " + target);
+    return servers_[index];
+  };
+  const auto target_link = [this](const std::string& target) {
+    phys::Link* l = link(target);
+    NETCLONE_CHECK(l != nullptr, "unknown link target: " + target);
+    return l;
+  };
+  const auto merge_rate = [&](auto member) {
+    phys::Link* l = target_link(event.target);
+    phys::LinkImpairments cfg =
+        l->impairments() != nullptr ? *l->impairments()
+                                    : phys::LinkImpairments{};
+    cfg.*member = event.value;
+    l->configure_impairments(cfg, impairment_seed(event.target));
+  };
+
+  switch (event.action) {
+    case FaultAction::kLinkDown:
+      target_link(event.target)->set_up(false);
+      break;
+    case FaultAction::kLinkUp:
+      target_link(event.target)->set_up(true);
+      break;
+    case FaultAction::kDropRate:
+      merge_rate(&phys::LinkImpairments::drop_rate);
+      break;
+    case FaultAction::kCorruptRate:
+      merge_rate(&phys::LinkImpairments::corrupt_rate);
+      break;
+    case FaultAction::kReorderRate:
+      merge_rate(&phys::LinkImpairments::reorder_rate);
+      break;
+    case FaultAction::kDuplicateRate:
+      merge_rate(&phys::LinkImpairments::duplicate_rate);
+      break;
+    case FaultAction::kServerCrash:
+      parse_server(event.target)->crash();
+      break;
+    case FaultAction::kServerRestart:
+      parse_server(event.target)->restart();
+      break;
+    case FaultAction::kServerPause:
+      parse_server(event.target)->pause();
+      break;
+    case FaultAction::kServerResume:
+      parse_server(event.target)->resume();
+      break;
+    case FaultAction::kServerSlowdown:
+      parse_server(event.target)->set_slowdown(event.value);
+      break;
+    case FaultAction::kSwitchFail:
+      switch_->fail();
+      break;
+    case FaultAction::kSwitchRecover:
+      switch_->recover();
+      break;
+    case FaultAction::kSwitchWipe:
+      switch_->wipe_soft_state();
+      break;
+    case FaultAction::kFilterStale:
+      NETCLONE_CHECK(netclone_program_ != nullptr,
+                     "filter_stale requires a NetClone scheme");
+      netclone_program_->inject_stale_filter_entry(
+          event.table, static_cast<std::uint32_t>(event.value));
+      break;
   }
 }
 

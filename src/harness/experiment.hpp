@@ -16,6 +16,7 @@
 #include "baselines/racksched_program.hpp"
 #include "common/types.hpp"
 #include "core/netclone_program.hpp"
+#include "harness/faults.hpp"
 #include "host/client.hpp"
 #include "host/server.hpp"
 #include "phys/topology.hpp"
@@ -65,6 +66,10 @@ struct ClusterConfig {
   host::ClientParams client_template{};
   host::ServerParams server_template{};
   pisa::SwitchParams switch_params{};
+
+  /// Timed faults installed at build time and fired through the
+  /// Scheduler (deterministic relative to every other event).
+  FaultPlan faults{};
 };
 
 struct ExperimentResult {
@@ -119,12 +124,32 @@ class Experiment {
   /// brief reconfiguration loss a real deployment would also see.
   void remove_server(ServerId sid);
 
+  /// Schedules every entry of `plan` through the Scheduler. The plan
+  /// from ClusterConfig is installed automatically at build time; this
+  /// lets tests/benches add more afterwards.
+  void install_fault_plan(const FaultPlan& plan);
+
+  /// Applies one fault right now. Throws via NETCLONE_CHECK on unknown
+  /// targets or scheme mismatches (e.g. filter_stale without NetClone).
+  void apply_fault(const FaultEvent& event);
+
+  /// Directed link by name (`c0-sw0`, `sw0-s3`, `co0-sw0`); nullptr when
+  /// no such link exists.
+  [[nodiscard]] phys::Link* link(const std::string& name) const;
+
+  /// All directed links with their harness names, for the auditor.
+  [[nodiscard]] const std::vector<std::pair<std::string, phys::Link*>>&
+  links() const {
+    return links_;
+  }
+
   /// Scheduling surface of the engine, for tests/benches that inject
   /// events (failures, reconfigurations) into a run.
   [[nodiscard]] sim::Scheduler& scheduler();
   /// Engine telemetry: events executed so far (determinism fingerprint).
   [[nodiscard]] std::uint64_t executed_events() const;
   [[nodiscard]] pisa::SwitchDevice& tor() { return *switch_; }
+  [[nodiscard]] const pisa::SwitchDevice& tor() const { return *switch_; }
   [[nodiscard]] const ClusterConfig& config() const { return config_; }
   [[nodiscard]] const std::vector<host::Server*>& servers() const {
     return servers_;
@@ -139,6 +164,11 @@ class Experiment {
  private:
   void build();
   [[nodiscard]] ExperimentResult collect() const;
+  void record_link(const std::string& a, const std::string& b,
+                   const phys::DuplexPorts& ports);
+  /// Per-link impairment RNG seed, derived from the config seed and the
+  /// link name without consuming root_rng_ draws.
+  [[nodiscard]] std::uint64_t impairment_seed(const std::string& name) const;
 
   ClusterConfig config_;
   Rng root_rng_;
@@ -147,6 +177,8 @@ class Experiment {
   pisa::SwitchDevice* switch_ = nullptr;
   std::vector<host::Server*> servers_;
   std::vector<host::Client*> clients_;
+  /// Directed links keyed by `<src>-<dst>` harness names.
+  std::vector<std::pair<std::string, phys::Link*>> links_;
   baselines::LaedgeCoordinator* coordinator_ = nullptr;
   // Exactly one of these is loaded, depending on the scheme.
   std::shared_ptr<core::NetCloneProgram> netclone_program_;

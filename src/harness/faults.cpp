@@ -1,0 +1,169 @@
+#include "harness/faults.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+
+namespace netclone::harness {
+
+namespace {
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream in(line);
+  std::string tok;
+  while (in >> tok) {
+    tokens.push_back(tok);
+  }
+  return tokens;
+}
+
+[[noreturn]] void fail(const std::string& line, const std::string& why) {
+  throw FaultPlanError("bad fault entry '" + line + "': " + why);
+}
+
+/// Parses "2s" / "3.5ms" / "250us" / "1500ns" into a SimTime.
+SimTime parse_time(const std::string& line, const std::string& text) {
+  std::size_t unit = 0;
+  while (unit < text.size() &&
+         (std::isdigit(static_cast<unsigned char>(text[unit])) != 0 ||
+          text[unit] == '.' || text[unit] == '+' || text[unit] == '-' ||
+          text[unit] == 'e' || text[unit] == 'E')) {
+    // 'e' may start the unit suffix rather than an exponent; back off if
+    // the rest of the string is not a valid suffix continuation.
+    if ((text[unit] == 'e' || text[unit] == 'E') &&
+        (unit + 1 >= text.size() ||
+         (std::isdigit(static_cast<unsigned char>(text[unit + 1])) == 0 &&
+          text[unit + 1] != '+' && text[unit + 1] != '-'))) {
+      break;
+    }
+    ++unit;
+  }
+  if (unit == 0) {
+    fail(line, "missing time value in '" + text + "'");
+  }
+  char* end = nullptr;
+  const std::string digits = text.substr(0, unit);
+  const double value = std::strtod(digits.c_str(), &end);
+  if (end == nullptr || *end != '\0') {
+    fail(line, "bad time value '" + digits + "'");
+  }
+  if (value < 0.0) {
+    fail(line, "negative time '" + text + "'");
+  }
+  const std::string suffix = text.substr(unit);
+  if (suffix == "s") {
+    return SimTime::seconds(value);
+  }
+  if (suffix == "ms") {
+    return SimTime::milliseconds(value);
+  }
+  if (suffix == "us") {
+    return SimTime::microseconds(value);
+  }
+  if (suffix == "ns") {
+    return SimTime::nanoseconds(static_cast<std::int64_t>(value));
+  }
+  fail(line, "unknown time unit '" + suffix + "' (use ns/us/ms/s)");
+}
+
+double parse_number(const std::string& line, const std::string& text) {
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == nullptr || *end != '\0') {
+    fail(line, "bad numeric operand '" + text + "'");
+  }
+  return value;
+}
+
+struct ActionSpec {
+  const char* name;
+  FaultAction action;
+  /// Operand count after the target (rates and slowdown take 1,
+  /// filter_stale takes 2: table index and request id).
+  int extra_operands;
+};
+
+constexpr ActionSpec kActions[] = {
+    {"link_down", FaultAction::kLinkDown, 0},
+    {"link_up", FaultAction::kLinkUp, 0},
+    {"drop_rate", FaultAction::kDropRate, 1},
+    {"corrupt_rate", FaultAction::kCorruptRate, 1},
+    {"reorder_rate", FaultAction::kReorderRate, 1},
+    {"duplicate_rate", FaultAction::kDuplicateRate, 1},
+    {"server_crash", FaultAction::kServerCrash, 0},
+    {"server_restart", FaultAction::kServerRestart, 0},
+    {"server_pause", FaultAction::kServerPause, 0},
+    {"server_resume", FaultAction::kServerResume, 0},
+    {"server_slowdown", FaultAction::kServerSlowdown, 1},
+    {"switch_fail", FaultAction::kSwitchFail, 0},
+    {"switch_recover", FaultAction::kSwitchRecover, 0},
+    {"switch_wipe", FaultAction::kSwitchWipe, 0},
+    {"filter_stale", FaultAction::kFilterStale, 2},
+};
+
+}  // namespace
+
+const char* fault_action_name(FaultAction action) {
+  for (const ActionSpec& spec : kActions) {
+    if (spec.action == action) {
+      return spec.name;
+    }
+  }
+  return "?";
+}
+
+FaultEvent parse_fault_entry(const std::string& line) {
+  const std::vector<std::string> tokens = tokenize(line);
+  if (tokens.size() < 3) {
+    fail(line, "expected 'at=<time> <action> <target> [args]'");
+  }
+  if (tokens[0].rfind("at=", 0) != 0) {
+    fail(line, "entry must start with 'at='");
+  }
+
+  FaultEvent ev;
+  ev.at = parse_time(line, tokens[0].substr(3));
+
+  const ActionSpec* spec = nullptr;
+  for (const ActionSpec& candidate : kActions) {
+    if (tokens[1] == candidate.name) {
+      spec = &candidate;
+      break;
+    }
+  }
+  if (spec == nullptr) {
+    fail(line, "unknown action '" + tokens[1] + "'");
+  }
+  ev.action = spec->action;
+  ev.target = tokens[2];
+
+  const std::size_t expected = 3 + static_cast<std::size_t>(
+                                       spec->extra_operands);
+  if (tokens.size() != expected) {
+    fail(line, std::string("action '") + spec->name + "' takes " +
+                   std::to_string(spec->extra_operands) +
+                   " operand(s) after the target");
+  }
+
+  if (spec->action == FaultAction::kFilterStale) {
+    const double table = parse_number(line, tokens[3]);
+    const double req_id = parse_number(line, tokens[4]);
+    if (table < 0.0 || req_id < 1.0) {
+      fail(line, "filter_stale needs table >= 0 and req_id >= 1");
+    }
+    ev.table = static_cast<std::size_t>(table);
+    ev.value = req_id;
+  } else if (spec->extra_operands == 1) {
+    ev.value = parse_number(line, tokens[3]);
+    if (ev.value < 0.0) {
+      fail(line, "operand must be non-negative");
+    }
+    if (spec->action == FaultAction::kServerSlowdown && ev.value <= 0.0) {
+      fail(line, "slowdown factor must be positive");
+    }
+  }
+  return ev;
+}
+
+}  // namespace netclone::harness

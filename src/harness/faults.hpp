@@ -1,0 +1,83 @@
+// Timed fault plans — the scenario-level face of the chaos layer.
+//
+// A FaultPlan is a list of timed entries parsed from scenario config
+// lines such as:
+//
+//     at=2s    link_down      sw0-s3
+//     at=3s    corrupt_rate   sw0-s1  1e-4
+//     at=3500us reorder_rate  c0-sw0  0.01
+//     at=4s    server_crash   s2
+//     at=4.5s  server_restart s2
+//     at=5s    switch_wipe    sw0
+//     at=6s    filter_stale   sw0     0 12345
+//
+// Targets use the harness's node names: clients `c<N>`, servers `s<N>`,
+// the ToR switch `sw0`, the LÆDGE coordinator `co0`. A link target is
+// `<src>-<dst>` for the directed src→dst link. Experiment resolves the
+// names and schedules every entry through the Scheduler, so fault
+// firing obeys the same deterministic event order as everything else.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace netclone::harness {
+
+/// Thrown on malformed fault entries (unknown action, bad time suffix,
+/// missing or extra operands).
+class FaultPlanError : public std::runtime_error {
+ public:
+  explicit FaultPlanError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+enum class FaultAction {
+  // phys: administrative state and probabilistic impairments of one
+  // directed link. Rate actions merge into the link's impairment config.
+  kLinkDown,
+  kLinkUp,
+  kDropRate,
+  kCorruptRate,
+  kReorderRate,
+  kDuplicateRate,
+  // host: server process faults.
+  kServerCrash,
+  kServerRestart,
+  kServerPause,
+  kServerResume,
+  kServerSlowdown,
+  // pisa/core: switch faults.
+  kSwitchFail,
+  kSwitchRecover,
+  kSwitchWipe,
+  kFilterStale,
+};
+
+[[nodiscard]] const char* fault_action_name(FaultAction action);
+
+struct FaultEvent {
+  SimTime at{};
+  FaultAction action{};
+  /// Link name (`c0-sw0`), server name (`s2`), or switch name (`sw0`).
+  std::string target{};
+  /// Rate (impairments), slowdown factor, or the request id to plant
+  /// (filter_stale).
+  double value = 0.0;
+  /// filter_stale only: which filter table receives the entry.
+  std::size_t table = 0;
+};
+
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+
+  [[nodiscard]] bool empty() const { return events.empty(); }
+};
+
+/// Parses one timed entry (`at=<time><unit> <action> <target> [args]`).
+/// Accepted time units: ns, us, ms, s.
+[[nodiscard]] FaultEvent parse_fault_entry(const std::string& line);
+
+}  // namespace netclone::harness

@@ -1,0 +1,210 @@
+#include "harness/invariants.hpp"
+
+#include <sstream>
+
+#include "harness/experiment.hpp"
+#include "wire/framebuf.hpp"
+
+namespace netclone::harness {
+
+namespace {
+
+/// Appends "name: detail" when `bad` holds.
+void check(InvariantReport& report, bool bad, const std::string& what) {
+  if (bad) {
+    report.violations.push_back(what);
+  }
+}
+
+std::string u64(std::uint64_t v) { return std::to_string(v); }
+
+}  // namespace
+
+std::string InvariantReport::to_string() const {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < violations.size(); ++i) {
+    if (i != 0) {
+      out << '\n';
+    }
+    out << violations[i];
+  }
+  return out.str();
+}
+
+InvariantReport audit_invariants(const Experiment& exp) {
+  InvariantReport report;
+
+  // -- client accounting: exactly-once completion ------------------------
+  for (std::size_t i = 0; i < exp.clients().size(); ++i) {
+    const host::Client& client = *exp.clients()[i];
+    const host::ClientStats& cs = client.stats();
+    const host::Client::Audit audit = client.audit();
+    const std::string who = "client c" + std::to_string(i);
+    check(report, audit.completed_entries != cs.completed,
+          who + ": completed stat " + u64(cs.completed) +
+              " != completed request entries " +
+              u64(audit.completed_entries) +
+              " (a request completed twice or a completion went " +
+              "unrecorded)");
+    check(report,
+          cs.requests_sent !=
+              audit.completed_entries + audit.incomplete_entries,
+          who + ": requests_sent " + u64(cs.requests_sent) +
+              " != completed " + u64(audit.completed_entries) +
+              " + incomplete " + u64(audit.incomplete_entries) +
+              " (a request vanished without being accounted)");
+  }
+
+  // -- server structure --------------------------------------------------
+  for (std::size_t i = 0; i < exp.servers().size(); ++i) {
+    const host::Server& server = *exp.servers()[i];
+    const std::string who = "server s" + std::to_string(i);
+    if (server.crashed()) {
+      check(report, server.queue_depth() != 0,
+            who + ": crashed but queue depth is " +
+                u64(server.queue_depth()));
+      check(report, server.busy_workers() != 0,
+            who + ": crashed but busy_workers is " +
+                u64(server.busy_workers()));
+    }
+  }
+
+  // -- link occupancy ----------------------------------------------------
+  for (const auto& [name, link] : exp.links()) {
+    check(report, link->queued() > link->params().queue_capacity,
+          "link " + name + ": drop-tail occupancy " + u64(link->queued()) +
+              " exceeds capacity " + u64(link->params().queue_capacity));
+    check(report, link->queued() > link->in_flight(),
+          "link " + name + ": queued " + u64(link->queued()) +
+              " exceeds in-flight " + u64(link->in_flight()));
+    check(report, !link->is_up() && link->in_flight() != 0,
+          "link " + name + ": down but still has " +
+              u64(link->in_flight()) + " frames in flight");
+  }
+
+  // -- switch conservation -----------------------------------------------
+  const pisa::SwitchStats& sw = exp.tor().stats();
+  const std::uint64_t accounted = sw.parse_errors + sw.dropped_by_program +
+                                  sw.dropped_while_failed +
+                                  sw.egress_scheduled;
+  check(report, sw.rx_frames != accounted,
+        "switch: rx_frames " + u64(sw.rx_frames) +
+            " != parse_errors + dropped_by_program + "
+            "dropped_while_failed + egress_scheduled = " +
+            u64(accounted));
+  // Emissions can only come from scheduled egress passes; <= because
+  // frames still traversing the pipeline have been scheduled but not yet
+  // emitted (and failed-mid-flight frames are flushed).
+  check(report,
+        sw.tx_frames + sw.recirculated + sw.flushed_in_pipeline >
+            sw.egress_scheduled + sw.multicast_copies,
+        "switch: tx_frames " + u64(sw.tx_frames) + " + recirculated " +
+            u64(sw.recirculated) + " + flushed_in_pipeline " +
+            u64(sw.flushed_in_pipeline) + " exceeds egress_scheduled " +
+            u64(sw.egress_scheduled) + " + multicast_copies " +
+            u64(sw.multicast_copies));
+
+  // -- filter accounting -------------------------------------------------
+  if (exp.netclone_program() != nullptr) {
+    const core::NetCloneProgramStats& ps = exp.netclone_program()->stats();
+    check(report,
+          ps.filtered_responses >
+              ps.fingerprints_stored + ps.injected_stale_entries,
+          "program: filtered_responses " + u64(ps.filtered_responses) +
+              " exceeds fingerprints_stored " +
+              u64(ps.fingerprints_stored) + " + injected_stale_entries " +
+              u64(ps.injected_stale_entries));
+  }
+
+  // -- frame-pool balance ------------------------------------------------
+  const wire::FramePool::Stats& pool = wire::FramePool::instance().stats();
+  check(report, pool.released > pool.acquired,
+        "frame pool: released " + u64(pool.released) +
+            " exceeds acquired " + u64(pool.acquired));
+  check(report, pool.live != pool.acquired - pool.released,
+        "frame pool: live " + u64(pool.live) + " != acquired " +
+            u64(pool.acquired) + " - released " + u64(pool.released));
+
+  return report;
+}
+
+std::uint64_t chaos_digest(const Experiment& exp) {
+  std::uint64_t digest = 0xCBF29CE484222325ULL;
+  const auto fold = [&digest](std::uint64_t value) {
+    // FNV-1a, one byte at a time, over the value's 8 bytes.
+    for (int shift = 0; shift < 64; shift += 8) {
+      digest ^= (value >> shift) & 0xFFU;
+      digest *= 0x100000001B3ULL;
+    }
+  };
+
+  fold(exp.executed_events());
+
+  for (const host::Client* client : exp.clients()) {
+    const host::ClientStats& cs = client->stats();
+    fold(cs.requests_sent);
+    fold(cs.packets_sent);
+    fold(cs.completed);
+    fold(cs.completed_in_window);
+    fold(cs.redundant_responses);
+    fold(cs.unmatched_responses);
+    fold(cs.checksum_drops);
+    fold(cs.retransmissions);
+    fold(cs.cancels_sent);
+  }
+
+  for (const host::Server* server : exp.servers()) {
+    const host::ServerStats& ss = server->stats();
+    fold(ss.rx_requests);
+    fold(ss.completed);
+    fold(ss.dropped_stale_clones);
+    fold(ss.duplicate_fragments);
+    fold(ss.expired_partials);
+    fold(ss.cancelled_requests);
+    fold(ss.checksum_drops);
+    fold(ss.crashes);
+    fold(ss.dropped_while_crashed);
+    fold(ss.paused_frames);
+    fold(ss.abandoned_in_flight);
+  }
+
+  const pisa::SwitchStats& sw = exp.tor().stats();
+  fold(sw.rx_frames);
+  fold(sw.tx_frames);
+  fold(sw.dropped_by_program);
+  fold(sw.recirculated);
+  fold(sw.multicast_copies);
+  fold(sw.parse_errors);
+  fold(sw.dropped_while_failed);
+  fold(sw.egress_scheduled);
+  fold(sw.flushed_in_pipeline);
+  fold(sw.soft_state_wipes);
+
+  for (const auto& [name, link] : exp.links()) {
+    const phys::LinkStats& ls = link->stats();
+    fold(ls.tx_frames);
+    fold(ls.tx_bytes);
+    fold(ls.dropped_frames);
+    fold(ls.flushed_frames);
+    fold(ls.impaired_drops);
+    fold(ls.corrupted_frames);
+    fold(ls.duplicated_frames);
+    fold(ls.reordered_frames);
+  }
+
+  if (exp.netclone_program() != nullptr) {
+    const core::NetCloneProgramStats& ps = exp.netclone_program()->stats();
+    fold(ps.requests);
+    fold(ps.cloned_requests);
+    fold(ps.recirculated_clones);
+    fold(ps.responses);
+    fold(ps.fingerprints_stored);
+    fold(ps.filtered_responses);
+    fold(ps.missing_route_drops);
+    fold(ps.injected_stale_entries);
+  }
+
+  return digest;
+}
+
+}  // namespace netclone::harness

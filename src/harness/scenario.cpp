@@ -162,6 +162,13 @@ Scenario parse_scenario(const std::string& text) {
       scenario.csv_path = value;
     } else if (key == "title") {
       scenario.title = value;
+    } else if (key == "fault") {
+      try {
+        scenario.faults.events.push_back(parse_fault_entry(value));
+      } catch (const FaultPlanError& err) {
+        throw ScenarioError{"line " + std::to_string(line_no) + ": " +
+                            err.what()};
+      }
     } else {
       throw ScenarioError{"line " + std::to_string(line_no) +
                           ": unknown key '" + key + "'"};
@@ -202,6 +209,7 @@ ClusterConfig Scenario::build_config() const {
   cfg.warmup = SimTime::milliseconds(warmup_ms);
   cfg.measure = SimTime::milliseconds(measure_ms);
   cfg.seed = seed;
+  cfg.faults = faults;
 
   const host::JitterModel jitter{jitter_p, jitter_multiplier, noise};
   if (workload == "exp") {
@@ -273,6 +281,14 @@ warmup_ms  = 5
 seed       = 1
 # csv      = sweep.csv   # export the series
 title      = scenario
+# Timed faults (repeatable). Targets: links c<N>-sw0 / sw0-s<N>,
+# servers s<N>, switch sw0.
+# fault    = at=2s link_down sw0-s3
+# fault    = at=2.5s link_up sw0-s3
+# fault    = at=3s corrupt_rate sw0-s1 1e-4
+# fault    = at=4s server_crash s2
+# fault    = at=4.5s server_restart s2
+# fault    = at=5s switch_wipe sw0
 )";
 }
 

@@ -59,6 +59,10 @@ struct Scenario {
   std::uint64_t seed = 1;
   std::optional<std::string> csv_path{};
   std::string title = "scenario";
+  /// Timed fault entries from repeatable `fault =` lines, e.g.
+  /// `fault = at=2s link_down sw0-s3`. Parsed (and validated) at
+  /// scenario-parse time.
+  FaultPlan faults{};
 
   /// Builds the base cluster configuration (offered_rps left at 0; run()
   /// fills it per load point) plus the capacity estimate.

@@ -6,6 +6,20 @@
 
 namespace netclone::host {
 
+namespace {
+
+/// Seed for the client's retransmit-jitter stream. The probe is a *copy*
+/// of the workload RNG, so deriving the seed consumes nothing from the
+/// stream the arrivals and request keys are drawn from — adding the
+/// retry stream cannot shift any existing same-seed run.
+std::uint64_t retry_stream_seed(Rng probe, std::uint16_t client_id) {
+  return probe.next_u64() ^
+         0x5851F42D4C957F2DULL *
+             (static_cast<std::uint64_t>(client_id) + 1);
+}
+
+}  // namespace
+
 Client::Client(sim::Scheduler& scheduler, ClientParams params,
                std::shared_ptr<RequestFactory> factory, Rng rng)
     : phys::Node("client-" + std::to_string(params.client_id)),
@@ -13,6 +27,7 @@ Client::Client(sim::Scheduler& scheduler, ClientParams params,
       params_(params),
       factory_(std::move(factory)),
       rng_(rng),
+      retry_rng_(retry_stream_seed(rng, params.client_id)),
       my_ip_(client_ip(params.client_id)),
       my_mac_(wire::MacAddress::from_node(0x0200U + params.client_id)),
       arrival_timer_(scheduler, [this] { on_arrival(); }) {
@@ -165,6 +180,24 @@ void Client::send_all_packets(Pending& pending, std::uint32_t client_seq) {
   }
 }
 
+SimTime Client::retransmit_delay(std::uint32_t retries) {
+  // Iterated multiplication instead of std::pow: IEEE multiplies are
+  // exactly rounded, so the delay sequence is bit-identical across libm
+  // implementations.
+  double ns = static_cast<double>(params_.retransmit_timeout.ns());
+  for (std::uint32_t k = 0; k < retries; ++k) {
+    ns *= params_.retransmit_backoff;
+  }
+  const auto cap = static_cast<double>(params_.retransmit_cap.ns());
+  if (cap > 0.0 && ns > cap) {
+    ns = cap;
+  }
+  if (params_.retransmit_jitter > 0.0) {
+    ns *= 1.0 + params_.retransmit_jitter * retry_rng_.next_double();
+  }
+  return SimTime::nanoseconds(static_cast<std::int64_t>(ns));
+}
+
 void Client::arm_retransmit_timer(std::uint32_t client_seq) {
   if (params_.retransmit_timeout <= SimTime::zero()) {
     return;
@@ -173,8 +206,8 @@ void Client::arm_retransmit_timer(std::uint32_t client_seq) {
   if (armed == outstanding_.end()) {
     return;
   }
-  armed->second.retransmit_event =
-      sim_.schedule_after(params_.retransmit_timeout, [this, client_seq] {
+  armed->second.retransmit_event = sim_.schedule_after(
+      retransmit_delay(armed->second.retries), [this, client_seq] {
         auto it = outstanding_.find(client_seq);
         if (it == outstanding_.end() || it->second.completed) {
           return;
@@ -186,6 +219,9 @@ void Client::arm_retransmit_timer(std::uint32_t client_seq) {
         }
         ++pending.retries;
         ++stats_.retransmissions;
+        if (stats_.retransmit_times.size() < 64) {
+          stats_.retransmit_times.push_back(sim_.now());
+        }
         send_all_packets(pending, client_seq);
         arm_retransmit_timer(client_seq);
       });
@@ -254,6 +290,10 @@ void Client::send_cancel(const Pending& pending, std::uint32_t client_seq,
 }
 
 void Client::handle_frame(std::size_t /*port*/, wire::FrameHandle frame) {
+  if (!wire::verify_frame_checksums(frame)) {
+    ++stats_.checksum_drops;
+    return;
+  }
   wire::Packet pkt;
   try {
     pkt = wire::Packet::parse_backed(frame);
@@ -336,6 +376,18 @@ void Client::on_response_processed(wire::Packet pkt) {
   }
   // Keep the entry so a late duplicate is classified as redundant; entries
   // for never-duplicated requests are reclaimed wholesale with the client.
+}
+
+Client::Audit Client::audit() const {
+  Audit a;
+  for (const auto& [seq, pending] : outstanding_) {
+    if (pending.completed) {
+      ++a.completed_entries;
+    } else {
+      ++a.incomplete_entries;
+    }
+  }
+  return a;
 }
 
 }  // namespace netclone::host

@@ -98,6 +98,13 @@ struct ClientParams {
   /// the same REQ_ID in client-tuple mode), up to max_retransmits times.
   SimTime retransmit_timeout = SimTime::zero();
   std::uint32_t max_retransmits = 3;
+  /// Retry k waits min(timeout * backoff^k, cap) * (1 + jitter * u) with
+  /// u ~ U[0,1) from a per-client stream independent of the workload RNG.
+  /// The growth plus jitter keeps a dead server from seeing synchronized
+  /// retry storms; a cap of zero means uncapped.
+  double retransmit_backoff = 2.0;
+  SimTime retransmit_cap = SimTime::milliseconds(100);
+  double retransmit_jitter = 0.1;
   /// C-Clone's optional cancellation (§2.2): after the first response
   /// arrives, tell the server that has not answered to drop the queued
   /// duplicate. The paper cites evidence this buys little —
@@ -115,8 +122,13 @@ struct ClientStats {
   std::uint64_t redundant_responses = 0;
   /// Responses that matched no outstanding request.
   std::uint64_t unmatched_responses = 0;
+  /// Frames dropped because the IPv4 or UDP checksum failed on receive.
+  std::uint64_t checksum_drops = 0;
   /// Timeout-triggered re-sends (TCP mode).
   std::uint64_t retransmissions = 0;
+  /// Instants of the first few retransmissions (capped recording), for
+  /// backoff regression tests — gaps must grow and stay deterministic.
+  std::vector<SimTime> retransmit_times;
   /// Cancel messages sent (C-Clone cancellation).
   std::uint64_t cancels_sent = 0;
   LatencyHistogram latency;
@@ -141,6 +153,16 @@ class Client : public phys::Node {
   [[nodiscard]] std::size_t outstanding() const {
     return outstanding_.size();
   }
+
+  /// Accounting scan over the request table for the invariant auditor:
+  /// every issued request is either completed exactly once or still
+  /// recorded as incomplete (entries are never erased, so the table is
+  /// the ground truth the stats counters are checked against).
+  struct Audit {
+    std::uint64_t completed_entries = 0;
+    std::uint64_t incomplete_entries = 0;
+  };
+  [[nodiscard]] Audit audit() const;
 
   /// Control-plane reconfiguration after a server add/remove (§3.6): the
   /// operator tells clients the new group count.
@@ -190,12 +212,18 @@ class Client : public phys::Node {
   /// Paces one already-serialized frame through the sender thread.
   void emit_frame(wire::FrameHandle bytes);
   void arm_retransmit_timer(std::uint32_t client_seq);
+  /// Backoff delay before retry number `retries` (0-based), jittered
+  /// from the dedicated retry stream.
+  [[nodiscard]] SimTime retransmit_delay(std::uint32_t retries);
   void on_response_processed(wire::Packet pkt);
 
   sim::Scheduler& sim_;
   ClientParams params_;
   std::shared_ptr<RequestFactory> factory_;
   Rng rng_;
+  /// Jitter stream for retransmit backoff — separate from the workload
+  /// stream so enabling TCP-mode timeouts cannot shift arrival draws.
+  Rng retry_rng_;
   wire::Ipv4Address my_ip_;
   wire::MacAddress my_mac_;
 

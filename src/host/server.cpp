@@ -19,6 +19,19 @@ Server::Server(sim::Scheduler& scheduler, ServerParams params,
 }
 
 void Server::handle_frame(std::size_t /*port*/, wire::FrameHandle frame) {
+  if (crashed_) {
+    ++stats_.dropped_while_crashed;
+    return;
+  }
+  if (paused_) {
+    ++stats_.paused_frames;
+    paused_rx_.push_back(std::move(frame));
+    return;
+  }
+  if (!wire::verify_frame_checksums(frame)) {
+    ++stats_.checksum_drops;
+    return;
+  }
   wire::Packet pkt;
   try {
     pkt = wire::Packet::parse_backed(frame);
@@ -44,7 +57,11 @@ void Server::handle_frame(std::size_t /*port*/, wire::FrameHandle frame) {
   const SimTime start = std::max(now, dispatcher_busy_until_);
   dispatcher_busy_until_ = start + params_.dispatch_cost;
   sim_.schedule_at(dispatcher_busy_until_,
-                   [this, req = std::move(req)]() mutable {
+                   [this, epoch = epoch_, req = std::move(req)]() mutable {
+                     if (epoch != epoch_) {
+                       ++stats_.abandoned_in_flight;
+                       return;  // the dispatcher died with the crash
+                     }
                      on_dispatch(std::move(req));
                    });
 }
@@ -178,12 +195,67 @@ void Server::try_start_worker() {
     try_start_worker();
     return;
   }
-  const SimTime exec = service_->execution_time(rpc, rng_);
+  SimTime exec = service_->execution_time(rpc, rng_);
+  if (slowdown_ != 1.0) {
+    exec = SimTime::nanoseconds(static_cast<std::int64_t>(
+        static_cast<double>(exec.ns()) * slowdown_));
+  }
   sim_.schedule_after(exec + params_.response_tx_cost,
-                      [this, queue_wait, exec,
+                      [this, epoch = epoch_, queue_wait, exec,
                        req = std::move(req)]() mutable {
+                        if (epoch != epoch_) {
+                          // The worker's result died with the crash;
+                          // busy_workers_ was reset there.
+                          ++stats_.abandoned_in_flight;
+                          return;
+                        }
                         on_complete(std::move(req), queue_wait, exec);
                       });
+}
+
+void Server::crash() {
+  ++stats_.crashes;
+  ++epoch_;  // voids every in-flight dispatch and worker completion
+  crashed_ = true;
+  paused_ = false;
+  queue_.clear();
+  partials_.clear();
+  paused_rx_.clear();
+  busy_workers_ = 0;
+  dispatcher_busy_until_ = sim_.now();
+}
+
+void Server::restart() {
+  if (!crashed_) {
+    return;
+  }
+  crashed_ = false;
+  dispatcher_busy_until_ = sim_.now();
+}
+
+void Server::pause() {
+  if (!crashed_) {
+    paused_ = true;
+  }
+}
+
+void Server::resume() {
+  if (!paused_) {
+    return;
+  }
+  paused_ = false;
+  // Replay the buffered frames in arrival order through the normal rx
+  // path; the dispatcher pacing restarts from now.
+  std::vector<wire::FrameHandle> backlog;
+  backlog.swap(paused_rx_);
+  for (wire::FrameHandle& frame : backlog) {
+    handle_frame(0, std::move(frame));
+  }
+}
+
+void Server::set_slowdown(double factor) {
+  NETCLONE_CHECK(factor > 0.0, "slowdown factor must be positive");
+  slowdown_ = factor;
 }
 
 void Server::on_complete(PendingRequest req, SimTime queue_wait,

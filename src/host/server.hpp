@@ -89,6 +89,15 @@ struct ServerStats {
   std::uint64_t cancelled_partials = 0;
   /// Cancels that matched nothing (request in service or already done).
   std::uint64_t cancel_misses = 0;
+  /// Frames dropped because the IPv4 or UDP checksum failed on receive.
+  std::uint64_t checksum_drops = 0;
+  /// Fault-hook accounting: crash() invocations, frames discarded while
+  /// crashed, frames buffered while paused, and in-flight dispatch/worker
+  /// events voided because their epoch died with a crash.
+  std::uint64_t crashes = 0;
+  std::uint64_t dropped_while_crashed = 0;
+  std::uint64_t paused_frames = 0;
+  std::uint64_t abandoned_in_flight = 0;
   /// Time requests spent waiting in the FCFS queue before a worker took
   /// them — the variability source JSQ/cloning mask.
   LatencyHistogram queue_wait;
@@ -105,6 +114,23 @@ class Server : public phys::Node {
   [[nodiscard]] ServerId sid() const { return params_.sid; }
   [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
   [[nodiscard]] std::uint32_t busy_workers() const { return busy_workers_; }
+
+  // Fault hooks (the deterministic chaos layer). Crash models a process
+  // kill: all soft state (queue, partials, in-service work) is lost and
+  // rx frames are discarded until restart(); in-flight scheduler events
+  // from before the crash are voided by an epoch guard. Pause models a
+  // stalled NIC/dispatcher: rx frames are buffered and replayed on
+  // resume(); workers already executing keep running (no preemption).
+  void crash();
+  void restart();
+  void pause();
+  void resume();
+  /// Degraded-worker fault: multiplies execution time for requests that
+  /// start from now on (1.0 = healthy, 2.0 = half speed).
+  void set_slowdown(double factor);
+  [[nodiscard]] bool crashed() const { return crashed_; }
+  [[nodiscard]] bool paused() const { return paused_; }
+  [[nodiscard]] double slowdown() const { return slowdown_; }
 
  private:
   /// Where the response must go, captured when the request is parsed so
@@ -156,6 +182,14 @@ class Server : public phys::Node {
   std::unordered_map<std::uint64_t, PartialRequest> partials_;
   std::uint64_t dispatch_counter_ = 0;
   std::uint32_t busy_workers_ = 0;
+  /// Bumped by crash(); scheduled dispatch/completion events carry the
+  /// epoch they were created in and no-op when it is stale.
+  std::uint64_t epoch_ = 0;
+  bool crashed_ = false;
+  bool paused_ = false;
+  double slowdown_ = 1.0;
+  /// Frames received while paused, replayed in order on resume().
+  std::vector<wire::FrameHandle> paused_rx_;
   /// Scratch for fragmented responses, reused across completions.
   std::vector<wire::FrameHandle> burst_;
   ServerStats stats_;

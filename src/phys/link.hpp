@@ -21,7 +21,9 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 
+#include "common/rng.hpp"
 #include "sim/scheduler.hpp"
 #include "wire/framebuf.hpp"
 
@@ -38,12 +40,32 @@ struct LinkParams {
   std::size_t queue_capacity = 1024;
 };
 
+/// Probabilistic per-frame impairments. All rates are probabilities in
+/// [0, 1]; an all-zero config means the link is clean and transmit pays
+/// only a single pointer test.
+struct LinkImpairments {
+  double drop_rate = 0.0;
+  double corrupt_rate = 0.0;
+  double reorder_rate = 0.0;
+  double duplicate_rate = 0.0;
+
+  [[nodiscard]] bool any() const {
+    return drop_rate > 0.0 || corrupt_rate > 0.0 || reorder_rate > 0.0 ||
+           duplicate_rate > 0.0;
+  }
+};
+
 struct LinkStats {
   std::uint64_t tx_frames = 0;
   std::uint64_t tx_bytes = 0;
   std::uint64_t dropped_frames = 0;
   /// Frames lost because the link went down while they were in flight.
   std::uint64_t flushed_frames = 0;
+  /// Frames lost to the impairment model (counted apart from drop-tail).
+  std::uint64_t impaired_drops = 0;
+  std::uint64_t corrupted_frames = 0;
+  std::uint64_t duplicated_frames = 0;
+  std::uint64_t reordered_frames = 0;
 };
 
 class Link {
@@ -68,9 +90,23 @@ class Link {
   void set_up(bool up);
   [[nodiscard]] bool is_up() const { return up_; }
 
+  /// Installs (or, with an all-zero config, removes) the impairment
+  /// model. The first call seeds the link's dedicated RNG stream from
+  /// `seed`; later calls reconfigure rates without restarting the
+  /// stream, so a fault plan that ramps rates mid-run stays on one
+  /// deterministic sequence.
+  void configure_impairments(const LinkImpairments& cfg,
+                             std::uint64_t seed);
+  /// Active impairment config, or nullptr when the link is clean.
+  [[nodiscard]] const LinkImpairments* impairments() const {
+    return impair_ != nullptr ? &impair_->cfg : nullptr;
+  }
+
   /// In-flight + queued frames awaiting delivery (at most one scheduler
   /// event is pending for all of them).
   [[nodiscard]] std::size_t in_flight() const { return pending_.size(); }
+  /// Frames currently holding a drop-tail occupancy slot.
+  [[nodiscard]] std::size_t queued() const { return queued_; }
 
   [[nodiscard]] const LinkStats& stats() const { return stats_; }
   [[nodiscard]] const LinkParams& params() const { return params_; }
@@ -86,7 +122,21 @@ class Link {
     wire::FrameHandle frame;
   };
 
+  /// Per-link impairment state, allocated only when a non-zero config is
+  /// installed — a clean link carries a null pointer and the transmit
+  /// fast path is unchanged.
+  struct ImpairmentState {
+    LinkImpairments cfg;
+    Rng rng;
+  };
+
   [[nodiscard]] SimTime serialization_time(std::size_t bytes) const;
+  /// The clean enqueue path: drop-tail check, FIFO push, head arming.
+  void enqueue(wire::FrameHandle frame);
+  /// Impairment gate in front of enqueue(): drop, corrupt (on a private
+  /// copy), duplicate (second enqueue of a shared handle), reorder (swap
+  /// the frame bytes of the last two FIFO entries).
+  void transmit_impaired(wire::FrameHandle frame);
   /// Arms the delivery event for the FIFO head (which must exist).
   void arm_head();
   void deliver_head();
@@ -101,6 +151,7 @@ class Link {
   std::deque<InFlight> pending_;
   sim::EventId delivery_event_{};
   LinkStats stats_;
+  std::unique_ptr<ImpairmentState> impair_;
 };
 
 }  // namespace netclone::phys

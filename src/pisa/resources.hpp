@@ -129,6 +129,15 @@ class RegisterArray final : public StageResource {
   /// Control-plane / test peek: NOT a data-plane access.
   [[nodiscard]] T peek(std::size_t index) const { return cells_.at(index); }
 
+  /// Control-plane / fault-injection write: NOT a data-plane access.
+  /// Used to plant corrupted soft state (e.g. a stale filter fingerprint)
+  /// without consuming a pipeline pass.
+  void poke_write(std::size_t index, T value) {
+    NETCLONE_CHECK(index < cells_.size(),
+                   "register index out of range: " + name());
+    cells_[index] = value;
+  }
+
   [[nodiscard]] std::size_t size() const { return cells_.size(); }
   [[nodiscard]] std::size_t sram_bytes() const override {
     return cells_.size() * sizeof(T);

@@ -53,6 +53,13 @@ void SwitchDevice::recover() {
   log_info("switch '" + name() + "' recovered at " + to_string(sim_.now()));
 }
 
+void SwitchDevice::wipe_soft_state() {
+  ++stats_.soft_state_wipes;
+  pipeline_.reset_soft_state();
+  log_info("switch '" + name() + "' soft state wiped at " +
+           to_string(sim_.now()));
+}
+
 void SwitchDevice::handle_frame(std::size_t port, wire::FrameHandle frame) {
   process(port, std::move(frame), /*recirculated=*/false);
 }
@@ -101,11 +108,12 @@ void SwitchDevice::process(std::size_t port, wire::FrameHandle frame,
     if (ports->size() > 1) {
       stats_.multicast_copies += ports->size() - 1;
     }
+    ++stats_.egress_scheduled;
     sim_.schedule_after(params_.pipeline_latency,
                         [this, out_ports = *ports,
                          pkt = std::move(pkt)]() mutable {
                           if (failed_) {
-                            ++stats_.dropped_while_failed;
+                            ++stats_.flushed_in_pipeline;
                             return;
                           }
                           const wire::FrameHandle bytes =
@@ -115,11 +123,12 @@ void SwitchDevice::process(std::size_t port, wire::FrameHandle frame,
                           }
                         });
   } else if (md.egress_port) {
+    ++stats_.egress_scheduled;
     sim_.schedule_after(params_.pipeline_latency,
                         [this, port = *md.egress_port,
                          pkt = std::move(pkt)]() mutable {
                           if (failed_) {
-                            ++stats_.dropped_while_failed;
+                            ++stats_.flushed_in_pipeline;
                             return;
                           }
                           emit(port, pkt.serialize_pooled());

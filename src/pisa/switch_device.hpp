@@ -30,7 +30,18 @@ struct SwitchStats {
   std::uint64_t recirculated = 0;
   std::uint64_t multicast_copies = 0;
   std::uint64_t parse_errors = 0;
+  /// Frames discarded at ingress because the switch was down. Every
+  /// rx_frame lands in exactly one of: parse_errors, dropped_by_program,
+  /// dropped_while_failed, or egress_scheduled — the conservation
+  /// equation the invariant auditor checks.
   std::uint64_t dropped_while_failed = 0;
+  /// Pipeline passes that scheduled an egress event.
+  std::uint64_t egress_scheduled = 0;
+  /// Egress events whose frame was discarded because the switch failed
+  /// while it was traversing the pipeline.
+  std::uint64_t flushed_in_pipeline = 0;
+  /// Mid-run register wipes injected via wipe_soft_state().
+  std::uint64_t soft_state_wipes = 0;
 };
 
 class SwitchDevice : public phys::Node {
@@ -65,6 +76,10 @@ class SwitchDevice : public phys::Node {
   /// state); registers restart zeroed.
   void recover();
   [[nodiscard]] bool failed() const { return failed_; }
+  /// Soft-state fault: wipes all register memory mid-run while the
+  /// switch keeps forwarding (models a partial reset / controller bug
+  /// rather than a full reboot). Match-action entries survive.
+  void wipe_soft_state();
 
   [[nodiscard]] const SwitchStats& stats() const { return stats_; }
 

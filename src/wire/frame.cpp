@@ -384,6 +384,85 @@ FrameHandle Packet::build_pooled() const {
   return h;
 }
 
+namespace {
+
+/// Checksum verification over a frame presented as a head span plus an
+/// optional tail span (empty for contiguous frames). `head` must cover
+/// at least the Ethernet+IPv4+UDP headers.
+bool verify_spans(std::span<const std::byte> head,
+                  std::span<const std::byte> tail) {
+  const std::byte* o = head.data();
+  const std::size_t total = head.size() + tail.size();
+  if (load_u16(o, 12) != static_cast<std::uint16_t>(EtherType::kIpv4)) {
+    return true;  // not IPv4: nothing here is checksummed
+  }
+  // The IPv4 header sums to zero (complemented) when intact — this also
+  // covers flips in version/IHL, lengths, protocol, and addresses.
+  const std::uint32_t ip_sum = checksum_accumulate(
+      head.subspan(kIpOff, Ipv4Header::kSize), 0);
+  if (internet_checksum({}, ip_sum) != 0) {
+    return false;
+  }
+  if (load_u8(o, kIpProtoOff) != static_cast<std::uint8_t>(IpProto::kUdp)) {
+    return true;  // IPv4 header intact but not UDP: nothing more to check
+  }
+  // Lengths must agree with the bytes on the wire before the UDP sum can
+  // mean anything; a mismatch is an integrity failure in its own right.
+  if (load_u16(o, kIpOff + 2) !=
+          static_cast<std::uint16_t>(total - kIpOff) ||
+      load_u16(o, kUdpLenOff) !=
+          static_cast<std::uint16_t>(total - kUdpOff)) {
+    return false;
+  }
+  const std::uint16_t wire_csum = load_u16(o, kUdpCsumOff);
+  if (wire_csum == 0) {
+    return true;  // RFC 768: zero means the sender skipped the checksum
+  }
+  const std::uint32_t pseudo =
+      static_cast<std::uint32_t>(load_u16(o, kIpSrcOff)) +
+      load_u16(o, kIpSrcOff + 2) + load_u16(o, kIpSrcOff + 4) +
+      load_u16(o, kIpSrcOff + 6) +
+      static_cast<std::uint32_t>(IpProto::kUdp) +
+      static_cast<std::uint32_t>(total - kUdpOff);
+  std::uint32_t sum = checksum_accumulate(
+      head.subspan(kUdpOff, (head.size() - kUdpOff) & ~std::size_t{1}),
+      pseudo);
+  if (((head.size() - kUdpOff) & 1U) != 0) {
+    // The UDP segment's head part ends mid-word: its last byte is the
+    // high half of a word whose low half is the first tail byte (or the
+    // RFC 1071 zero pad when there is no tail).
+    std::uint32_t straddle =
+        static_cast<std::uint32_t>(head.back()) << 8;
+    if (!tail.empty()) {
+      straddle |= static_cast<std::uint32_t>(tail.front());
+      tail = tail.subspan(1);
+    }
+    sum += straddle;
+  }
+  // `tail` is now word-aligned relative to the UDP segment, so the plain
+  // accumulate (which zero-pads a trailing odd byte) finishes the sum.
+  return internet_checksum(tail, sum) == 0;
+}
+
+}  // namespace
+
+bool verify_frame_checksums(const FrameHandle& frame) {
+  constexpr std::size_t kMinHead = kUdpOff + UdpHeader::kSize;
+  if (!frame.split()) {
+    const auto bytes = frame.bytes();
+    return bytes.size() < kMinHead || verify_spans(bytes, {});
+  }
+  const auto head = frame.head_bytes();
+  if (head.size() >= kMinHead) {
+    return verify_spans(head, frame.tail_bytes());
+  }
+  // A split boundary inside the L2-L4 headers never arises from
+  // compose()/copy-on-write, but stay correct if it ever does.
+  const Frame linear = frame.to_frame();
+  return linear.size() < kMinHead ||
+         verify_spans(std::span<const std::byte>{linear}, {});
+}
+
 NetCloneHeader& Packet::nc() {
   NETCLONE_CHECK(netclone.has_value(), "packet has no NetClone header");
   return *netclone;

@@ -120,6 +120,15 @@ class Packet {
   std::uint16_t backed_header_len_ = 0;
 };
 
+/// Receive-path integrity check: verifies the IPv4 header checksum and
+/// the UDP checksum (pseudo-header included) directly against the frame
+/// bytes, without linearizing split (scatter-gather) frames. Returns
+/// false when either checksum fails or the IP/UDP lengths disagree with
+/// the frame size — the caller should drop and count the frame. Frames
+/// that are not IPv4/UDP-shaped return true: they carry no checksum to
+/// verify and the parser rejects them on its own.
+[[nodiscard]] bool verify_frame_checksums(const FrameHandle& frame);
+
 /// Convenience builder for a NetClone UDP packet between two endpoints.
 [[nodiscard]] Packet make_netclone_packet(MacAddress src_mac,
                                           MacAddress dst_mac, Ipv4Address src,

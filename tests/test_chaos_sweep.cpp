@@ -1,0 +1,20 @@
+// Full chaos sweep (slow lane): >= 100 seed x randomized-fault-plan
+// combinations, each checked against the cross-layer invariant auditor
+// and the same-seed determinism digest, with pooled-frame balance
+// verified across every experiment's lifetime. The quick 12-combo
+// variant runs in tier1 (test_faults.cpp).
+#include <gtest/gtest.h>
+
+#include "chaos_util.hpp"
+
+namespace netclone {
+namespace {
+
+TEST(ChaosSweepFull, HundredCombos) {
+  for (std::uint64_t combo = 0; combo < 100; ++combo) {
+    netclone::testing::run_chaos_combo(100 + combo);
+  }
+}
+
+}  // namespace
+}  // namespace netclone
