@@ -1,0 +1,20 @@
+// Cache-prefetch hint for batched probes.
+//
+// Burst processing probes several tables per packet across a run of
+// packets; issuing the home-slot prefetches for the whole run before the
+// first probe overlaps the memory latency instead of paying it serially.
+// Purely advisory: a no-op compiles away on toolchains without the
+// builtin, and correctness never depends on it.
+#pragma once
+
+namespace netclone {
+
+inline void prefetch_read(const void* address) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(address, /*rw=*/0, /*locality=*/3);
+#else
+  (void)address;
+#endif
+}
+
+}  // namespace netclone

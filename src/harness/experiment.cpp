@@ -69,6 +69,10 @@ std::uint64_t Experiment::executed_events() const {
   return sim_->executed_events();
 }
 
+std::uint64_t Experiment::absorbed_events() const {
+  return sim_->absorbed_events();
+}
+
 void Experiment::build() {
   sim_ = std::make_unique<sim::Simulator>();
   topology_ = std::make_unique<phys::Topology>(*sim_);

@@ -146,8 +146,10 @@ class Experiment {
   /// Scheduling surface of the engine, for tests/benches that inject
   /// events (failures, reconfigurations) into a run.
   [[nodiscard]] sim::Scheduler& scheduler();
-  /// Engine telemetry: events executed so far (determinism fingerprint).
+  /// Engine telemetry: events executed so far (determinism fingerprint)
+  /// and the share of those folded into neighbours by burst coalescing.
   [[nodiscard]] std::uint64_t executed_events() const;
+  [[nodiscard]] std::uint64_t absorbed_events() const;
   [[nodiscard]] pisa::SwitchDevice& tor() { return *switch_; }
   [[nodiscard]] const pisa::SwitchDevice& tor() const { return *switch_; }
   [[nodiscard]] const ClusterConfig& config() const { return config_; }

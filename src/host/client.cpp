@@ -142,27 +142,35 @@ void Client::send_all_packets(Pending& pending, std::uint32_t client_seq) {
   }
   const wire::RpcRequest& req = pending.request;
   // Only cache when a retransmit timer can ever fire, so the per-request
-  // Pending map doesn't retain frame buffers it will never resend.
+  // Pending map doesn't retain frame buffers it will never resend. The
+  // same gate covers the shared payload tail: serialized once here, then
+  // every fragment, C-Clone copy, and retransmission shares its bytes by
+  // refcount.
   const bool cache = params_.retransmit_timeout > SimTime::zero();
+  if (cache && !pending.payload_tail.frame) {
+    pending.payload_tail = wire::SharedPayload::of(req.to_frame());
+  }
+  const wire::SharedPayload* tail = cache ? &pending.payload_tail : nullptr;
   switch (params_.mode) {
     case SendMode::kViaSwitch:
     case SendMode::kToCoordinator:
       for (std::uint8_t f = 0; f < params_.request_fragments; ++f) {
         wire::FrameHandle sent = emit_request(req, params_.target,
                                               pending.grp, pending.idx,
-                                              client_seq, f);
+                                              client_seq, f, tail);
         if (cache) {
           pending.tx_frames.push_back(std::move(sent));
         }
       }
       break;
     case SendMode::kDirectRandom: {
-      // A fresh random worker every attempt — never cached, so the RNG
-      // draw sequence matches the uncached behavior exactly.
+      // A fresh random worker every attempt — the frame is never cached
+      // (its destination changes), so the RNG draw sequence matches the
+      // uncached behavior exactly; only the payload tail is reused.
       const auto i = static_cast<std::size_t>(
           rng_.next_below(params_.server_ips.size()));
       emit_request(req, params_.server_ips[i], pending.grp, pending.idx,
-                   client_seq, 0);
+                   client_seq, 0, tail);
       break;
     }
     case SendMode::kCClone:
@@ -171,7 +179,8 @@ void Client::send_all_packets(Pending& pending, std::uint32_t client_seq) {
       // for C-Clone).
       for (const wire::Ipv4Address dst : pending.cclone_dsts) {
         wire::FrameHandle sent = emit_request(req, dst, pending.grp,
-                                              pending.idx, client_seq, 0);
+                                              pending.idx, client_seq, 0,
+                                              tail);
         if (cache) {
           pending.tx_frames.push_back(std::move(sent));
         }
@@ -231,7 +240,8 @@ wire::FrameHandle Client::emit_request(const wire::RpcRequest& req,
                                        wire::Ipv4Address dst,
                                        std::uint16_t grp, std::uint8_t idx,
                                        std::uint32_t client_seq,
-                                       std::uint8_t frag_idx) {
+                                       std::uint8_t frag_idx,
+                                       const wire::SharedPayload* tail) {
   wire::NetCloneHeader nc;
   // Write operations travel as WREQ so the switch never clones them (§5.5).
   nc.type = req.op == wire::RpcOp::kSet ? wire::MsgType::kWriteRequest
@@ -251,9 +261,17 @@ wire::FrameHandle Client::emit_request(const wire::RpcRequest& req,
   wire::Packet pkt = wire::make_netclone_packet(
       my_mac_, wire::MacAddress::broadcast(), my_ip_, dst,
       /*src_port=*/static_cast<std::uint16_t>(40000 + params_.client_id),
-      nc, req.to_frame());
+      nc, tail != nullptr ? wire::Frame{} : req.to_frame());
 
-  wire::FrameHandle bytes = pkt.serialize_pooled();
+  wire::FrameHandle bytes;
+  if (tail != nullptr) {
+    // Scatter-gather: a fresh header block composed with the shared body
+    // buffer — byte-identical to the contiguous build below.
+    pkt.payload = tail->ref();
+    bytes = pkt.serialize_sg(*tail);
+  } else {
+    bytes = pkt.serialize_pooled();
+  }
   emit_frame(bytes);
   return bytes;
 }
@@ -351,6 +369,7 @@ void Client::on_response_processed(wire::Packet pkt) {
   }
   pending.completed = true;
   pending.tx_frames.clear();  // release the cached retransmit buffers
+  pending.payload_tail = wire::SharedPayload{};
   // The retransmit timeout is dead weight now — O(1)-cancel it so the
   // engine truly removes the event instead of firing a no-op later.
   sim_.cancel(pending.retransmit_event);

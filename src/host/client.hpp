@@ -191,6 +191,13 @@ class Client : public phys::Node {
     /// retransmit_timeout is armed; never used for kDirectRandom, which
     /// re-draws its destination every attempt). Released on completion.
     std::vector<wire::FrameHandle> tx_frames{};
+    /// The request body, serialized once into a shared pooled buffer.
+    /// Every attempt — fragments, the C-Clone pair, and kDirectRandom
+    /// retransmissions (which re-draw their destination and so must
+    /// rebuild headers) — composes its header block with this tail by
+    /// refcount; the payload bytes are never serialized again. Built only
+    /// when a retransmit timer can fire; released on completion.
+    wire::SharedPayload payload_tail{};
     /// Pending retransmit timeout (TCP mode); cancelled on completion so
     /// the event — and the closure it holds — is freed immediately.
     sim::EventId retransmit_event{};
@@ -204,11 +211,14 @@ class Client : public phys::Node {
                    wire::Ipv4Address responder);
   void send_all_packets(Pending& pending, std::uint32_t client_seq);
   /// Builds, serializes and paces one request packet; returns the frame so
-  /// the caller can cache it for retransmission.
+  /// the caller can cache it for retransmission. With a non-null `tail`
+  /// the frame is composed scatter-gather: fresh headers over the shared
+  /// payload buffer (byte-identical to the contiguous build).
   wire::FrameHandle emit_request(const wire::RpcRequest& req,
                                  wire::Ipv4Address dst, std::uint16_t grp,
                                  std::uint8_t idx, std::uint32_t client_seq,
-                                 std::uint8_t frag_idx);
+                                 std::uint8_t frag_idx,
+                                 const wire::SharedPayload* tail);
   /// Paces one already-serialized frame through the sender thread.
   void emit_frame(wire::FrameHandle bytes);
   void arm_retransmit_timer(std::uint32_t client_seq);

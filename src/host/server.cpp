@@ -16,6 +16,10 @@ Server::Server(sim::Scheduler& scheduler, ServerParams params,
       my_ip_(server_ip(params.sid)),
       my_mac_(wire::MacAddress::from_node(0x0100U + value_of(params.sid))) {
   NETCLONE_CHECK(params_.workers > 0, "server needs at least one worker");
+  // Steady state holds at most a handful of concurrent partials (one per
+  // in-flight multi-packet request); presizing keeps the dispatch path
+  // rehash-free well past that.
+  partials_.reserve(256);
 }
 
 void Server::handle_frame(std::size_t /*port*/, wire::FrameHandle frame) {
@@ -83,7 +87,7 @@ void Server::on_cancel(const wire::NetCloneHeader& nc) {
   // flight or dropped) would otherwise strand until the TTL sweep.
   const std::uint64_t key =
       static_cast<std::uint64_t>(nc.client_id) << 32 | nc.client_seq;
-  if (partials_.erase(key) > 0) {
+  if (partials_.erase(key)) {
     ++stats_.cancelled_partials;
     return;
   }
@@ -128,7 +132,8 @@ bool Server::reassemble(PendingRequest& req) {
   const wire::NetCloneHeader& nc = req.nc;
   const std::uint64_t key =
       static_cast<std::uint64_t>(nc.client_id) << 32 | nc.client_seq;
-  PartialRequest& partial = partials_[key];
+  bool inserted = false;
+  PartialRequest& partial = partials_.get_or_insert(key, inserted);
   partial.last_update = sim_.now();
   const std::uint64_t bit = std::uint64_t{1} << (nc.frag_idx & 63U);
   if ((partial.frag_mask & bit) != 0) {
@@ -167,13 +172,18 @@ bool Server::reassemble(PendingRequest& req) {
 
 void Server::sweep_stale_partials() {
   const SimTime cutoff = sim_.now() - params_.partial_request_ttl;
-  for (auto it = partials_.begin(); it != partials_.end();) {
-    if (it->second.last_update < cutoff) {
-      it = partials_.erase(it);
-      ++stats_.expired_partials;
-    } else {
-      ++it;
+  // Collect first, erase after: backward-shift deletion moves entries
+  // the visit has not reached yet, so erasing mid-iteration could skip
+  // (or double-visit) survivors.
+  expired_keys_.clear();
+  partials_.for_each([&](std::uint64_t key, const PartialRequest& partial) {
+    if (partial.last_update < cutoff) {
+      expired_keys_.push_back(key);
     }
+  });
+  for (const std::uint64_t key : expired_keys_) {
+    partials_.erase(key);
+    ++stats_.expired_partials;
   }
 }
 

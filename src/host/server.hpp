@@ -19,9 +19,9 @@
 
 #include <deque>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.hpp"
 #include "common/histogram.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
@@ -179,7 +179,14 @@ class Server : public phys::Node {
 
   SimTime dispatcher_busy_until_ = SimTime::zero();
   std::deque<QueueEntry> queue_;
-  std::unordered_map<std::uint64_t, PartialRequest> partials_;
+  /// Reassembly table, slab-allocated: partials live inline in the flat
+  /// map's contiguous slot array (no per-entry heap node), keyed by the
+  /// client tuple. Presized at construction so the dispatch path never
+  /// rehashes at steady state.
+  FlatMap64<PartialRequest> partials_;
+  /// Scratch for the TTL sweep (keys collected first — the flat map's
+  /// backward-shift erase must not run under its own iteration).
+  std::vector<std::uint64_t> expired_keys_;
   std::uint64_t dispatch_counter_ = 0;
   std::uint32_t busy_workers_ = 0;
   /// Bumped by crash(); scheduled dispatch/completion events carry the

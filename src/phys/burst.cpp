@@ -1,0 +1,27 @@
+#include "phys/burst.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace netclone::phys {
+
+namespace {
+
+bool burst_from_env() {
+  const char* value = std::getenv("NETCLONE_BURST");
+  if (value == nullptr) {
+    return true;
+  }
+  return std::strcmp(value, "0") != 0 && std::strcmp(value, "off") != 0 &&
+         std::strcmp(value, "OFF") != 0 && std::strcmp(value, "false") != 0;
+}
+
+bool g_burst_enabled = burst_from_env();
+
+}  // namespace
+
+bool burst_enabled() { return g_burst_enabled; }
+
+void set_burst_enabled(bool enabled) { g_burst_enabled = enabled; }
+
+}  // namespace netclone::phys

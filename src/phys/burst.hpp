@@ -1,0 +1,99 @@
+// Burst delivery: a run of frames handed across a layer boundary in one
+// call.
+//
+// A link whose FIFO holds several frames due back-to-back delivers them
+// as one FrameBurst when the scheduler confirms, entry by entry, that the
+// next frame's reserved delivery event would fire next anyway — the
+// scheduler then absorbs that event (advancing the clock to it) and the
+// frame rides along in the burst instead of costing its own dispatch (see
+// Link::deliver_head). Each frame carries its own arrival time; receivers
+// that batch (the PISA switch) override Node::handle_burst, process the
+// run in order as if each frame had arrived at its recorded instant, and
+// amortize parse, table-probe, and egress work across it. Everyone else
+// gets the default per-frame unrolling — and, via a zero
+// Node::burst_horizon(), never sees a multi-time burst in the first
+// place.
+//
+// FrameBurst is a move-only small-vector: the common burst (a handful of
+// back-to-back frames) lives entirely in inline storage, so handing a
+// burst up the stack allocates nothing. Long runs spill to a heap vector.
+//
+// The NETCLONE_BURST toggle (environment variable, overridable in
+// process) disables coalescing entirely, leaving the single-frame path as
+// the oracle — runs are bit-for-bit identical either way; the toggle only
+// changes how much work each scheduler event performs.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+#include "wire/framebuf.hpp"
+
+namespace netclone::phys {
+
+/// Global burst-mode switch. Initialized from the NETCLONE_BURST
+/// environment variable ("0", "off", "OFF", "false" disable; anything
+/// else, or unset, enables). Tests flip it at runtime to compare the two
+/// paths in one process.
+[[nodiscard]] bool burst_enabled();
+void set_burst_enabled(bool enabled);
+
+/// One frame of a burst, stamped with its delivery instant. The stamps
+/// within a burst are non-decreasing and never exceed the clock at
+/// delivery time (the scheduler was advanced through each of them).
+struct TimedFrame {
+  SimTime when{};
+  wire::FrameHandle frame{};
+};
+
+/// A run of frames delivered together. Move-only; inline storage covers
+/// the common case so burst assembly is allocation-free.
+class FrameBurst {
+ public:
+  /// Inline capacity: back-to-back runs within a receiver's latency
+  /// horizon are nearly always this short; longer runs spill to the heap
+  /// vector.
+  static constexpr std::size_t kInlineFrames = 8;
+
+  FrameBurst() = default;
+  FrameBurst(FrameBurst&&) noexcept = default;
+  FrameBurst& operator=(FrameBurst&&) noexcept = default;
+  FrameBurst(const FrameBurst&) = delete;
+  FrameBurst& operator=(const FrameBurst&) = delete;
+
+  void push_back(SimTime when, wire::FrameHandle frame) {
+    if (size_ < kInlineFrames) {
+      inline_[size_] = TimedFrame{when, std::move(frame)};
+    } else {
+      spill_.push_back(TimedFrame{when, std::move(frame)});
+    }
+    ++size_;
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  [[nodiscard]] TimedFrame& operator[](std::size_t i) {
+    return i < kInlineFrames ? inline_[i] : spill_[i - kInlineFrames];
+  }
+  [[nodiscard]] const TimedFrame& operator[](std::size_t i) const {
+    return i < kInlineFrames ? inline_[i] : spill_[i - kInlineFrames];
+  }
+
+  void clear() {
+    for (std::size_t i = 0; i < size_ && i < kInlineFrames; ++i) {
+      inline_[i] = TimedFrame{};
+    }
+    spill_.clear();
+    size_ = 0;
+  }
+
+ private:
+  TimedFrame inline_[kInlineFrames];
+  std::vector<TimedFrame> spill_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace netclone::phys

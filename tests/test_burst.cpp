@@ -1,0 +1,350 @@
+// Burst execution path (phys/burst.hpp + the absorbing drains in Link and
+// SwitchDevice): FrameBurst container semantics, the scheduler's
+// probe-and-commit absorption primitive, link-level burst assembly, and —
+// the contract the whole feature hangs on — bit-identical end-to-end runs
+// with the NETCLONE_BURST toggle on and off, including under fault plans
+// and link impairments.
+#include "phys/burst.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "chaos_util.hpp"
+#include "harness/experiment.hpp"
+#include "harness/faults.hpp"
+#include "harness/invariants.hpp"
+#include "phys/link.hpp"
+#include "phys/node.hpp"
+#include "pisa/switch_device.hpp"
+#include "sim/simulator.hpp"
+#include "test_util.hpp"
+#include "wire/framebuf.hpp"
+
+namespace netclone::phys {
+namespace {
+
+using namespace netclone::literals;
+
+/// Restores the process-wide burst toggle on scope exit, so a failing
+/// assertion cannot leak a mode into later tests.
+struct BurstModeGuard {
+  bool prev;
+  explicit BurstModeGuard(bool on) : prev(burst_enabled()) {
+    set_burst_enabled(on);
+  }
+  ~BurstModeGuard() { set_burst_enabled(prev); }
+  BurstModeGuard(const BurstModeGuard&) = delete;
+  BurstModeGuard& operator=(const BurstModeGuard&) = delete;
+};
+
+wire::FrameHandle frame_of_size(std::size_t n) {
+  return wire::FrameHandle::copy_of(wire::Frame(n, std::byte{0x42}));
+}
+
+// -- FrameBurst container ----------------------------------------------------
+
+TEST(FrameBurst, InlineStorageSpillsToHeapPastCapacity) {
+  FrameBurst burst;
+  for (std::size_t i = 0; i < 2 * FrameBurst::kInlineFrames + 4; ++i) {
+    burst.push_back(SimTime::nanoseconds(static_cast<std::int64_t>(i)),
+                    frame_of_size(i + 1));
+  }
+  const std::size_t n = 2 * FrameBurst::kInlineFrames + 4;
+  ASSERT_EQ(burst.size(), n);
+  EXPECT_FALSE(burst.empty());
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(burst[i].when.ns(), static_cast<std::int64_t>(i));
+    EXPECT_EQ(burst[i].frame.size(), i + 1);
+  }
+  FrameBurst moved = std::move(burst);
+  ASSERT_EQ(moved.size(), n);
+  EXPECT_EQ(moved[3].frame.size(), 4U);
+  EXPECT_EQ(moved[FrameBurst::kInlineFrames + 2].frame.size(),
+            FrameBurst::kInlineFrames + 3);
+  moved.clear();
+  EXPECT_TRUE(moved.empty());
+  EXPECT_EQ(moved.size(), 0U);
+}
+
+TEST(FrameBurst, DefaultNodeHandlerUnrollsPerFrame) {
+  testing::CaptureNode cap;
+  FrameBurst burst;
+  burst.push_back(1_ns, frame_of_size(10));
+  burst.push_back(2_ns, frame_of_size(20));
+  cap.handle_burst(7, std::move(burst));
+  ASSERT_EQ(cap.received.size(), 2U);
+  EXPECT_EQ(cap.received[0].port, 7U);
+  EXPECT_EQ(cap.received[0].frame.size(), 10U);
+  EXPECT_EQ(cap.received[1].frame.size(), 20U);
+}
+
+// -- try_absorb_event --------------------------------------------------------
+
+TEST(Absorb, CommitsOnlyWhenProvablyNext) {
+  sim::Simulator sim;
+
+  // Empty queue: any reservation is trivially next.
+  const std::uint64_t r0 = sim.reserve_seq();
+  EXPECT_TRUE(sim.try_absorb_event(20_ns, r0));
+  EXPECT_EQ(sim.now(), 20_ns);
+  EXPECT_EQ(sim.executed_events(), 1U);  // absorbed work counts
+
+  // A pending earlier event blocks absorption — at a later instant and
+  // at the same instant with a later seq alike.
+  bool a_fired = false;
+  sim.schedule_at(30_ns, [&] { a_fired = true; });
+  const std::uint64_t r1 = sim.reserve_seq();
+  EXPECT_FALSE(sim.try_absorb_event(40_ns, r1));
+  EXPECT_FALSE(sim.try_absorb_event(30_ns, r1));
+  EXPECT_EQ(sim.now(), 20_ns);  // failed probes commit nothing
+  EXPECT_EQ(sim.executed_events(), 1U);
+
+  // Strictly before the pending event the probe succeeds.
+  EXPECT_TRUE(sim.try_absorb_event(25_ns, r1));
+  EXPECT_EQ(sim.now(), 25_ns);
+  EXPECT_EQ(sim.executed_events(), 2U);
+
+  sim.run();
+  EXPECT_TRUE(a_fired);
+  EXPECT_EQ(sim.executed_events(), 3U);
+
+  // Same instant, earlier reserved seq: the reservation wins the tie.
+  const std::uint64_t r2 = sim.reserve_seq();
+  bool b_fired = false;
+  sim.schedule_at(60_ns, [&] { b_fired = true; });
+  EXPECT_TRUE(sim.try_absorb_event(60_ns, r2));
+  EXPECT_EQ(sim.now(), 60_ns);
+  sim.run();
+  EXPECT_TRUE(b_fired);
+  EXPECT_EQ(sim.executed_events(), 5U);
+
+  // Absorbing into the past is a programming error.
+  const std::uint64_t r3 = sim.reserve_seq();
+  EXPECT_THROW((void)sim.try_absorb_event(10_ns, r3), CheckFailure);
+
+  // note_absorbed_events folds externally counted coalesced work in.
+  sim.note_absorbed_events(5);
+  EXPECT_EQ(sim.executed_events(), 10U);
+}
+
+// -- link burst assembly -----------------------------------------------------
+
+/// A receiver that records bursts verbatim (stamps included) and single
+/// frames separately, with a configurable coalescing horizon.
+class BurstRecorder : public Node {
+ public:
+  explicit BurstRecorder(SimTime horizon)
+      : Node("recorder"), horizon_(horizon) {}
+
+  void handle_frame(std::size_t /*port*/, wire::FrameHandle frame) override {
+    singles_.push_back(frame.size());
+  }
+  void handle_burst(std::size_t /*port*/, FrameBurst&& burst) override {
+    std::vector<SimTime> stamps;
+    for (std::size_t i = 0; i < burst.size(); ++i) {
+      stamps.push_back(burst[i].when);
+    }
+    bursts_.push_back(std::move(stamps));
+  }
+  [[nodiscard]] SimTime burst_horizon() const override { return horizon_; }
+
+  SimTime horizon_;
+  std::vector<std::size_t> singles_;
+  std::vector<std::vector<SimTime>> bursts_;
+};
+
+TEST(LinkBurst, BackToBackFramesCoalesceIntoOneDelivery) {
+  BurstModeGuard guard{true};
+  sim::Simulator sim;
+  BurstRecorder dst{5_us};
+  LinkParams params;
+  params.rate_bps = 1e9;  // 125 bytes = 1 us serialization
+  params.delay = SimTime::zero();
+  Link link{sim, params};
+  link.connect_to(&dst, 0);
+
+  for (int i = 0; i < 3; ++i) {
+    link.transmit(frame_of_size(125));
+  }
+  sim.run();
+  // One delivery event fired; the two successors were absorbed into it,
+  // each at its own serialization-spaced instant.
+  EXPECT_TRUE(dst.singles_.empty());
+  ASSERT_EQ(dst.bursts_.size(), 1U);
+  EXPECT_EQ(dst.bursts_[0], (std::vector<SimTime>{1_us, 2_us, 3_us}));
+  EXPECT_EQ(sim.now(), 3_us);
+  EXPECT_EQ(sim.executed_events(), 3U);  // 1 fired + 2 absorbed
+}
+
+TEST(LinkBurst, HorizonBoundsHowFarTheDrainLooksAhead) {
+  BurstModeGuard guard{true};
+  sim::Simulator sim;
+  BurstRecorder dst{1_us};  // exactly one serialization gap
+  LinkParams params;
+  params.rate_bps = 1e9;
+  params.delay = SimTime::zero();
+  Link link{sim, params};
+  link.connect_to(&dst, 0);
+
+  for (int i = 0; i < 4; ++i) {
+    link.transmit(frame_of_size(125));
+  }
+  sim.run();
+  // Each drain takes the head plus the one successor inside its horizon:
+  // bursts of two, twice.
+  EXPECT_TRUE(dst.singles_.empty());
+  ASSERT_EQ(dst.bursts_.size(), 2U);
+  EXPECT_EQ(dst.bursts_[0], (std::vector<SimTime>{1_us, 2_us}));
+  EXPECT_EQ(dst.bursts_[1], (std::vector<SimTime>{3_us, 4_us}));
+  EXPECT_EQ(sim.executed_events(), 4U);
+}
+
+TEST(LinkBurst, ZeroHorizonReceiverAlwaysGetsSingleFrames) {
+  // Hosts keep burst_horizon() == 0, so even in burst mode a multi-time
+  // run is never handed to them in one call.
+  BurstModeGuard guard{true};
+  sim::Simulator sim;
+  BurstRecorder dst{SimTime::zero()};
+  LinkParams params;
+  params.rate_bps = 1e9;
+  params.delay = SimTime::zero();
+  Link link{sim, params};
+  link.connect_to(&dst, 0);
+
+  for (int i = 0; i < 3; ++i) {
+    link.transmit(frame_of_size(125));
+  }
+  sim.run();
+  EXPECT_EQ(dst.singles_, (std::vector<std::size_t>{125, 125, 125}));
+  EXPECT_TRUE(dst.bursts_.empty());
+}
+
+TEST(LinkBurst, OracleModeDeliversPerFrame) {
+  BurstModeGuard guard{false};
+  sim::Simulator sim;
+  BurstRecorder dst{5_us};
+  LinkParams params;
+  params.rate_bps = 1e9;
+  params.delay = SimTime::zero();
+  Link link{sim, params};
+  link.connect_to(&dst, 0);
+
+  for (int i = 0; i < 3; ++i) {
+    link.transmit(frame_of_size(125));
+  }
+  sim.run();
+  EXPECT_EQ(dst.singles_.size(), 3U);
+  EXPECT_TRUE(dst.bursts_.empty());
+  EXPECT_EQ(sim.now(), 3_us);
+  EXPECT_EQ(sim.executed_events(), 3U);  // same total as burst mode
+}
+
+TEST(SwitchBurst, FailedSwitchAccountsEveryBurstFrame) {
+  // The batch-parse stage mirrors the oracle's per-frame bookkeeping even
+  // when the whole burst is dropped (no program loaded here).
+  BurstModeGuard guard{true};
+  sim::Simulator sim;
+  pisa::SwitchDevice sw{sim, "sw", pisa::SwitchParams{}};
+  FrameBurst burst;
+  burst.push_back(1_ns, frame_of_size(64));
+  burst.push_back(2_ns, frame_of_size(64));
+  sw.handle_burst(0, std::move(burst));
+  EXPECT_EQ(sw.stats().rx_frames, 2U);
+  EXPECT_EQ(sw.stats().dropped_while_failed, 2U);
+}
+
+// -- end-to-end identity: burst on == burst off ------------------------------
+
+struct ModeRun {
+  harness::ExperimentResult result{};
+  std::uint64_t digest = 0;
+  bool audit_ok = false;
+  std::string audit_text;
+};
+
+ModeRun run_cluster(const harness::ClusterConfig& cfg, bool burst_on) {
+  BurstModeGuard guard{burst_on};
+  harness::Experiment exp{cfg};
+  ModeRun out;
+  out.result = exp.run();
+  const harness::InvariantReport report = harness::audit_invariants(exp);
+  out.audit_ok = report.ok();
+  out.audit_text = report.to_string();
+  out.digest = harness::chaos_digest(exp);
+  return out;
+}
+
+void expect_modes_identical(const ModeRun& on, const ModeRun& off,
+                            const std::string& what) {
+  EXPECT_TRUE(on.audit_ok) << what << " (burst on):\n" << on.audit_text;
+  EXPECT_TRUE(off.audit_ok) << what << " (burst off):\n" << off.audit_text;
+  EXPECT_EQ(on.digest, off.digest) << what << ": digests diverged";
+  EXPECT_EQ(on.result.completed, off.result.completed) << what;
+  EXPECT_EQ(on.result.requests_sent, off.result.requests_sent) << what;
+  EXPECT_EQ(on.result.p99.ns(), off.result.p99.ns()) << what;
+  EXPECT_EQ(on.result.redundant_responses, off.result.redundant_responses)
+      << what;
+}
+
+TEST(BurstIdentity, CleanClusterRunIsBitIdenticalAcrossModes) {
+  // A fig7-style NetClone cluster (retransmission armed, so the shared
+  // payload tail path is on the wire too) must produce the same digest,
+  // completions, and latency tail with bursting on and off.
+  harness::ClusterConfig cfg = testing::chaos_cluster(/*seed=*/77);
+  const ModeRun on = run_cluster(cfg, true);
+  const ModeRun off = run_cluster(cfg, false);
+  expect_modes_identical(on, off, "clean cluster");
+  EXPECT_GT(on.result.completed, 0U);
+}
+
+TEST(BurstIdentity, ChaosFaultPlansAreBitIdenticalAcrossModes) {
+  // Three combos of the chaos sweep's randomized fault plans (crashes,
+  // reboots, outages, impairments), each run in both modes.
+  for (std::uint64_t combo = 0; combo < 3; ++combo) {
+    harness::ClusterConfig cfg =
+        testing::chaos_cluster(/*seed=*/1000 + combo);
+    Rng plan_rng{0xC0FFEE ^ combo};
+    cfg.faults = testing::random_fault_plan(
+        plan_rng, cfg.server_workers.size(), cfg.num_clients);
+    const ModeRun on = run_cluster(cfg, true);
+    const ModeRun off = run_cluster(cfg, false);
+    expect_modes_identical(on, off,
+                           "chaos combo " + std::to_string(combo));
+  }
+}
+
+TEST(BurstIdentity, ImpairedLinksInsideBurstsMatchAcrossModes) {
+  // Link impairments rewrite the FIFO a burst drains from (drops shrink
+  // it, duplicates share buffers, reorders swap frames between reserved
+  // slots): the absorbing drain must stay bit-identical to the oracle
+  // through all of it.
+  harness::ClusterConfig cfg = testing::chaos_cluster(/*seed=*/9);
+  using harness::FaultAction;
+  using harness::FaultEvent;
+  const auto impair = [](const char* link, FaultAction action,
+                         double rate) {
+    FaultEvent ev;
+    ev.at = SimTime::microseconds(600.0);
+    ev.target = link;
+    ev.action = action;
+    ev.value = rate;
+    return ev;
+  };
+  cfg.faults.events = {
+      impair("c0-sw0", FaultAction::kDropRate, 0.02),
+      impair("sw0-s1", FaultAction::kReorderRate, 0.05),
+      impair("s2-sw0", FaultAction::kDuplicateRate, 0.03),
+      impair("sw0-c1", FaultAction::kCorruptRate, 0.02),
+  };
+  const ModeRun on = run_cluster(cfg, true);
+  const ModeRun off = run_cluster(cfg, false);
+  expect_modes_identical(on, off, "impaired links");
+  EXPECT_GT(on.result.completed, 0U);
+}
+
+}  // namespace
+}  // namespace netclone::phys

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
 #include <set>
 
 #include "phys/topology.hpp"
@@ -188,6 +189,101 @@ TEST(Client, ClientIdStampedOnAllPackets) {
   for (const auto& pkt : wire_end.packets()) {
     EXPECT_EQ(pkt.nc().client_id, 5);
     EXPECT_EQ(pkt.ip.src, client_ip(5));
+  }
+}
+
+// -- retransmission reuses the serialized payload ---------------------------
+
+/// Keeps the received FrameHandles alive (unlike CaptureNode, which
+/// linearizes), so tests can check buffer sharing across attempts.
+class HandleCapture : public phys::Node {
+ public:
+  HandleCapture() : phys::Node("sink") {}
+  void handle_frame(std::size_t /*port*/, wire::FrameHandle frame) override {
+    handles.push_back(std::move(frame));
+  }
+  std::vector<wire::FrameHandle> handles;
+};
+
+/// Received request frames grouped by CLIENT_SEQ, in arrival order.
+std::map<std::uint32_t, std::vector<const wire::FrameHandle*>> by_seq(
+    const std::vector<wire::FrameHandle>& handles) {
+  std::map<std::uint32_t, std::vector<const wire::FrameHandle*>> out;
+  for (const wire::FrameHandle& h : handles) {
+    const wire::Packet pkt = wire::Packet::parse_backed(h);
+    out[pkt.nc().client_seq].push_back(&h);
+  }
+  return out;
+}
+
+ClientParams retransmit_params(SendMode mode) {
+  ClientParams p = base_params(mode);
+  p.stop_at = SimTime::microseconds(200);  // a handful of requests
+  p.retransmit_timeout = SimTime::microseconds(50);
+  p.max_retransmits = 2;
+  return p;
+}
+
+TEST(ClientRetransmit, ResendSharesThePayloadBufferByteForByte) {
+  // With no responder every request retransmits until it gives up; each
+  // resend must reuse the cached frame — same body buffer, same bytes —
+  // never re-serializing the payload.
+  ClientParams p = retransmit_params(SendMode::kViaSwitch);
+  sim::Simulator sim;
+  phys::Topology topo{sim};
+  auto& client = topo.add_node<Client>(
+      sim, p, std::make_shared<FixedWorkload>(25.0), Rng{7});
+  auto& sink = topo.add_node<HandleCapture>();
+  topo.connect(client, sink);
+  client.start();
+  sim.run();
+
+  ASSERT_GT(client.stats().requests_sent, 0U);
+  EXPECT_EQ(client.stats().retransmissions,
+            client.stats().requests_sent * p.max_retransmits);
+  const auto groups = by_seq(sink.handles);
+  EXPECT_EQ(groups.size(), client.stats().requests_sent);
+  for (const auto& [seq, attempts] : groups) {
+    ASSERT_EQ(attempts.size(), 1U + p.max_retransmits) << "seq " << seq;
+    for (std::size_t i = 1; i < attempts.size(); ++i) {
+      EXPECT_TRUE(attempts[i]->shares_body_with(*attempts[0]))
+          << "seq " << seq << " attempt " << i << " re-serialized the body";
+      EXPECT_EQ(attempts[i]->to_frame(), attempts[0]->to_frame())
+          << "seq " << seq << " attempt " << i << " changed on the wire";
+    }
+  }
+}
+
+TEST(ClientRetransmit, DirectRandomRebuildsHeadersOverTheSharedPayload) {
+  // kDirectRandom re-draws its destination every attempt, so the header
+  // block is rebuilt — but the payload tail must still be the original
+  // buffer, shared by refcount, and each composed frame must match the
+  // contiguous serializer byte for byte.
+  ClientParams p = retransmit_params(SendMode::kDirectRandom);
+  sim::Simulator sim;
+  phys::Topology topo{sim};
+  auto& client = topo.add_node<Client>(
+      sim, p, std::make_shared<FixedWorkload>(25.0), Rng{7});
+  auto& sink = topo.add_node<HandleCapture>();
+  topo.connect(client, sink);
+  client.start();
+  sim.run();
+
+  ASSERT_GT(client.stats().requests_sent, 0U);
+  const auto groups = by_seq(sink.handles);
+  for (const auto& [seq, attempts] : groups) {
+    ASSERT_EQ(attempts.size(), 1U + p.max_retransmits) << "seq " << seq;
+    for (std::size_t i = 0; i < attempts.size(); ++i) {
+      if (i > 0) {
+        EXPECT_TRUE(attempts[i]->shares_body_with(*attempts[0]))
+            << "seq " << seq << " attempt " << i
+            << " re-serialized the payload";
+      }
+      // Scatter-gather compose vs the contiguous oracle.
+      const wire::Frame bytes = attempts[i]->to_frame();
+      EXPECT_EQ(wire::Packet::parse(bytes).serialize(), bytes)
+          << "seq " << seq << " attempt " << i;
+    }
   }
 }
 
