@@ -38,7 +38,7 @@ import subprocess
 import sys
 
 BENCHES = ["sim_engine", "packet_path", "pisa_pipeline", "host_path",
-           "fig16"]
+           "fig16", "parallel_engine"]
 
 # Bench names whose binary is not simply bench_<name>.
 BINARIES = {"fig16": "bench_fig16_failure"}
@@ -46,9 +46,23 @@ BINARIES = {"fig16": "bench_fig16_failure"}
 # Deterministic simulation digests: must match the baseline exactly.
 # The fig16 keys come from that bench's fault-free control run, so they
 # are bit-exact on any machine; its faulted-run counters (recovery time,
-# lost/duplicated requests) are reported as info rows.
-EXACT_KEYS = {"fig7_completed", "fig7_p99_ns", "pipeline_checks",
+# lost/duplicated requests) are reported as info rows. The
+# parallel_engine bench re-derives fig7_completed / fig7_p99_ns /
+# fig7_executed_events from the 4-shard run, so these keys double as
+# the sharded-determinism gate.
+EXACT_KEYS = {"fig7_completed", "fig7_p99_ns", "fig7_executed_events",
+              "pipeline_checks",
               "fig16_nofault_completed", "fig16_nofault_digest"}
+
+# Absolute minimum ratios, gated against the CURRENT run (both sides of
+# each ratio are measured in the same process on the same machine, so
+# the value transfers; the committed baseline is informational). Each
+# entry is key -> (minimum, hw_threads the runner needs for the number
+# to mean anything). On a starved runner the check is SKIPPED — loudly,
+# as a table row — instead of failing on noise.
+MIN_RATIOS = {
+    "parallel_scaling_shard4_over_shard1": (2.0, 4),
+}
 
 # Informational keys that are neither ratios nor digests.
 SKIP_KEYS = {"bench", "unit"}
@@ -133,6 +147,44 @@ def compare(name, baseline, current, tolerance):
         )
     for key in sorted(baseline):
         if key in SKIP_KEYS or key in paired:
+            continue
+        if key in MIN_RATIOS:
+            minimum, need_threads = MIN_RATIOS[key]
+            if key not in current:
+                failures.append(f"{name}: key {key} missing from run")
+                continue
+            cur_value = float(current[key])
+            hw = int(float(current.get("hw_threads", 0)))
+            if hw < need_threads:
+                # Starved runner: the ratio is meaningless, so say so
+                # in the table instead of failing (or silently passing).
+                rows.append(
+                    (
+                        name,
+                        key,
+                        f">={minimum:.2f}x",
+                        f"{cur_value:.2f}x",
+                        f"hw_threads={hw}",
+                        f"SKIP (needs {need_threads} hw threads)",
+                    )
+                )
+                continue
+            ok = cur_value >= minimum
+            if not ok:
+                failures.append(
+                    f"{name}: {key} = {cur_value:.2f}x, below the "
+                    f"required minimum {minimum:.2f}x"
+                )
+            rows.append(
+                (
+                    name,
+                    key,
+                    f">={minimum:.2f}x",
+                    f"{cur_value:.2f}x",
+                    f"hw_threads={hw}",
+                    "OK" if ok else "FAIL",
+                )
+            )
             continue
         if key in EXACT_KEYS:
             base_value = baseline[key]

@@ -5,6 +5,7 @@
 #include "common/check.hpp"
 #include "common/hash.hpp"
 #include "core/groups.hpp"
+#include "sim/sharded.hpp"
 #include "sim/simulator.hpp"
 
 namespace netclone::harness {
@@ -63,23 +64,110 @@ Experiment::Experiment(ClusterConfig config)
 
 Experiment::~Experiment() = default;
 
-sim::Scheduler& Experiment::scheduler() { return *sim_; }
+sim::Scheduler& Experiment::scheduler() {
+  return sharded_ != nullptr ? sharded_->control()
+                             : static_cast<sim::Scheduler&>(*sim_);
+}
 
 std::uint64_t Experiment::executed_events() const {
-  return sim_->executed_events();
+  return sharded_ != nullptr ? sharded_->executed_events()
+                             : sim_->executed_events();
 }
 
 std::uint64_t Experiment::absorbed_events() const {
-  return sim_->absorbed_events();
+  return sharded_ != nullptr ? sharded_->absorbed_events()
+                             : sim_->absorbed_events();
+}
+
+std::size_t Experiment::num_shards() const {
+  return sharded_ != nullptr ? sharded_->num_shards() : 0;
+}
+
+std::vector<wire::FramePool::Stats> Experiment::frame_pool_stats() const {
+  std::vector<wire::FramePool::Stats> out;
+  if (sharded_ != nullptr) {
+    for (std::size_t i = 0; i < sharded_->num_shards(); ++i) {
+      out.push_back(sharded_->shard(i).pool().stats());
+    }
+  } else {
+    out.push_back(wire::FramePool::instance().stats());
+  }
+  return out;
+}
+
+sim::Scheduler& Experiment::shard_scheduler(std::size_t shard) {
+  return sharded_ != nullptr
+             ? static_cast<sim::Scheduler&>(sharded_->shard(shard))
+             : static_cast<sim::Scheduler&>(*sim_);
+}
+
+std::size_t Experiment::host_shard(std::size_t host_index) const {
+  if (sharded_ == nullptr) {
+    return 0;
+  }
+  const std::size_t n = sharded_->num_shards();
+  if (!config_.shard_assignment.empty()) {
+    NETCLONE_CHECK(host_index < config_.shard_assignment.size(),
+                   "shard_assignment shorter than the host list");
+    const std::uint32_t s = config_.shard_assignment[host_index];
+    NETCLONE_CHECK(s < n, "shard_assignment entry out of range");
+    return s;
+  }
+  // The switch (shard 0) is every host's peer; spreading hosts over the
+  // remaining shards keeps the hot switch queue on a core of its own.
+  return n == 1 ? 0 : 1 + host_index % (n - 1);
+}
+
+phys::DuplexPorts Experiment::connect_nodes(phys::Node& a,
+                                            std::size_t shard_a,
+                                            phys::Node& b,
+                                            std::size_t shard_b,
+                                            phys::LinkParams params) {
+  if (sharded_ == nullptr) {
+    return topology_->connect(a, b, params);
+  }
+  // Link ids are topology build-order indices: identical for every shard
+  // count, which makes them a safe deep-tie fallback in the merge order.
+  const auto id_ab = static_cast<std::uint32_t>(topology_->links().size());
+  phys::DuplexPorts ports = topology_->connect(
+      sharded_->shard(shard_a), sharded_->shard(shard_b), a, b, params);
+  if (shard_a == shard_b) {
+    return ports;
+  }
+  sim::RemoteSink& ab = sharded_->attach_remote(
+      shard_a, shard_b, id_ab, params.delay,
+      [&b, port = ports.port_on_b](wire::FrameHandle frame) {
+        b.handle_frame(port, std::move(frame));
+      });
+  ports.a_to_b->set_remote_sink(&ab);
+  sim::RemoteSink& ba = sharded_->attach_remote(
+      shard_b, shard_a, id_ab + 1, params.delay,
+      [&a, port = ports.port_on_a](wire::FrameHandle frame) {
+        a.handle_frame(port, std::move(frame));
+      });
+  ports.b_to_a->set_remote_sink(&ba);
+  return ports;
 }
 
 void Experiment::build() {
-  sim_ = std::make_unique<sim::Simulator>();
-  topology_ = std::make_unique<phys::Topology>(*sim_);
+  std::size_t shards = config_.num_shards;
+  if (shards == 0) {
+    shards = sim::shards_from_env();
+  }
+  if (shards > 0) {
+    sharded_ =
+        std::make_unique<sim::ShardedSimulator>(shards, config_.seed);
+  } else {
+    sim_ = std::make_unique<sim::Simulator>();
+  }
+  topology_ = std::make_unique<phys::Topology>(shard_scheduler(0));
   const std::size_t num_servers = config_.server_workers.size();
 
-  switch_ = &topology_->add_node<pisa::SwitchDevice>(*sim_, "tor",
-                                                     config_.switch_params);
+  // The switch always lives on shard 0, with the control plane and the
+  // coordinator: every host link touches it, so its queue is the hub the
+  // lookahead windows fan out from.
+  switch_ = &topology_->add_node<pisa::SwitchDevice>(
+      shard_scheduler(0), "tor", config_.switch_params);
 
   // The loopback port used for clone recirculation must exist before the
   // PRE multicast groups referencing it.
@@ -131,9 +219,10 @@ void Experiment::build() {
     host::ServerParams sp = config_.server_template;
     sp.sid = sid;
     sp.workers = config_.server_workers[i];
+    const std::size_t shard = host_shard(i);
     auto& server = topology_->add_node<host::Server>(
-        *sim_, sp, config_.service, root_rng_.fork());
-    const auto ports = topology_->connect(server, *switch_);
+        shard_scheduler(shard), sp, config_.service, root_rng_.fork());
+    const auto ports = connect_nodes(server, shard, *switch_, 0);
     record_link(node_name('s', i), "sw0", ports);
     const wire::Ipv4Address ip = host::server_ip(sid);
     server_ips.push_back(ip);
@@ -174,8 +263,8 @@ void Experiment::build() {
     lp.per_packet_cost = config_.laedge_packet_cost;
     lp.workers = laedge_workers;
     coordinator_ = &topology_->add_node<baselines::LaedgeCoordinator>(
-        *sim_, lp, root_rng_.fork());
-    const auto ports = topology_->connect(*coordinator_, *switch_);
+        shard_scheduler(0), lp, root_rng_.fork());
+    const auto ports = connect_nodes(*coordinator_, 0, *switch_, 0);
     record_link("co0", "sw0", ports);
     l3_program_->add_route(host::coordinator_ip(), ports.port_on_b);
   }
@@ -209,9 +298,10 @@ void Experiment::build() {
         cp.target = host::service_vip();
         break;
     }
+    const std::size_t shard = host_shard(num_servers + c);
     auto& client = topology_->add_node<host::Client>(
-        *sim_, cp, config_.factory, root_rng_.fork());
-    const auto ports = topology_->connect(client, *switch_);
+        shard_scheduler(shard), cp, config_.factory, root_rng_.fork());
+    const auto ports = connect_nodes(client, shard, *switch_, 0);
     record_link(node_name('c', c), "sw0", ports);
     const wire::Ipv4Address ip = host::client_ip(cp.client_id);
     if (uses_netclone) {
@@ -250,7 +340,7 @@ phys::Link* Experiment::link(const std::string& name) const {
 
 void Experiment::install_fault_plan(const FaultPlan& plan) {
   for (const FaultEvent& event : plan.events) {
-    sim_->schedule_at(event.at, [this, event] { apply_fault(event); });
+    scheduler().schedule_at(event.at, [this, event] { apply_fault(event); });
   }
 }
 
@@ -344,7 +434,11 @@ ExperimentResult Experiment::run() {
     client->start();
   }
   const SimTime end = config_.warmup + config_.measure + config_.drain;
-  sim_->run_until(end);
+  if (sharded_ != nullptr) {
+    sharded_->run_until(end);
+  } else {
+    sim_->run_until(end);
+  }
   return collect();
 }
 
@@ -356,15 +450,19 @@ std::vector<std::uint64_t> Experiment::run_timeline(
     client->start();
   }
   if (fail_at) {
-    sim_->schedule_at(*fail_at, [this] { switch_->fail(); });
+    scheduler().schedule_at(*fail_at, [this] { switch_->fail(); });
   }
   if (recover_at) {
-    sim_->schedule_at(*recover_at, [this] { switch_->recover(); });
+    scheduler().schedule_at(*recover_at, [this] { switch_->recover(); });
   }
   std::vector<std::uint64_t> bins;
   std::uint64_t last_total = 0;
   for (SimTime t = bin; t <= total; t += bin) {
-    sim_->run_until(t);
+    if (sharded_ != nullptr) {
+      sharded_->run_until(t);
+    } else {
+      sim_->run_until(t);
+    }
     std::uint64_t now_total = 0;
     for (const host::Client* client : clients_) {
       now_total += client->stats().completed;

@@ -25,6 +25,7 @@
 
 namespace netclone::sim {
 class Simulator;  // the concrete engine; only experiment.cpp runs it
+class ShardedSimulator;  // the parallel engine (NETCLONE_SHARDS)
 }  // namespace netclone::sim
 
 namespace netclone::harness {
@@ -70,6 +71,18 @@ struct ClusterConfig {
   /// Timed faults installed at build time and fired through the
   /// Scheduler (deterministic relative to every other event).
   FaultPlan faults{};
+
+  /// Event-queue shards. 0 = resolve from NETCLONE_SHARDS, falling back
+  /// to the single-queue legacy engine when the variable is unset too.
+  /// Any value >= 1 uses sim::ShardedSimulator (1 = sharded machinery on
+  /// one queue — the merge-overhead baseline). Digests are bit-identical
+  /// for every choice.
+  std::size_t num_shards = 0;
+  /// Optional per-host shard override, indexed servers-then-clients in
+  /// build order (s0..sN, then c0..cM; the switch and the LÆDGE
+  /// coordinator are always shard 0). Empty = round-robin hosts across
+  /// shards 1..N-1 (all on shard 0 when N == 1).
+  std::vector<std::uint32_t> shard_assignment;
 };
 
 struct ExperimentResult {
@@ -144,12 +157,21 @@ class Experiment {
   }
 
   /// Scheduling surface of the engine, for tests/benches that inject
-  /// events (failures, reconfigurations) into a run.
+  /// events (failures, reconfigurations) into a run. In a sharded run
+  /// this is the control scheduler: events fire at a global barrier,
+  /// ordered before same-instant shard events — the same place the
+  /// legacy engine's install-time tiny seqs put them.
   [[nodiscard]] sim::Scheduler& scheduler();
   /// Engine telemetry: events executed so far (determinism fingerprint)
   /// and the share of those folded into neighbours by burst coalescing.
   [[nodiscard]] std::uint64_t executed_events() const;
   [[nodiscard]] std::uint64_t absorbed_events() const;
+  /// Shards actually in use (0 = unsharded legacy engine).
+  [[nodiscard]] std::size_t num_shards() const;
+  /// Frame-pool balance sheets: one entry per shard pool, or a single
+  /// entry for the process-wide pool when unsharded. The invariant
+  /// auditor checks live == acquired − released on each.
+  [[nodiscard]] std::vector<wire::FramePool::Stats> frame_pool_stats() const;
   [[nodiscard]] pisa::SwitchDevice& tor() { return *switch_; }
   [[nodiscard]] const pisa::SwitchDevice& tor() const { return *switch_; }
   [[nodiscard]] const ClusterConfig& config() const { return config_; }
@@ -166,6 +188,17 @@ class Experiment {
  private:
   void build();
   [[nodiscard]] ExperimentResult collect() const;
+  /// Scheduler a node on `shard` runs on (the single engine when
+  /// unsharded).
+  [[nodiscard]] sim::Scheduler& shard_scheduler(std::size_t shard);
+  /// Shard of the host with build-order index `host_index`
+  /// (servers-then-clients).
+  [[nodiscard]] std::size_t host_shard(std::size_t host_index) const;
+  /// topology_->connect() plus, when the endpoints' shards differ, the
+  /// cross-shard mailbox wiring for both directions.
+  phys::DuplexPorts connect_nodes(phys::Node& a, std::size_t shard_a,
+                                  phys::Node& b, std::size_t shard_b,
+                                  phys::LinkParams params = {});
   void record_link(const std::string& a, const std::string& b,
                    const phys::DuplexPorts& ports);
   /// Per-link impairment RNG seed, derived from the config seed and the
@@ -174,7 +207,11 @@ class Experiment {
 
   ClusterConfig config_;
   Rng root_rng_;
+  // Exactly one engine is loaded. Both must outlive topology_ (links
+  // cancel events and nodes release pooled frames on destruction), so
+  // they are declared before it.
   std::unique_ptr<sim::Simulator> sim_;
+  std::unique_ptr<sim::ShardedSimulator> sharded_;
   std::unique_ptr<phys::Topology> topology_;
   pisa::SwitchDevice* switch_ = nullptr;
   std::vector<host::Server*> servers_;

@@ -117,13 +117,23 @@ InvariantReport audit_invariants(const Experiment& exp) {
   }
 
   // -- frame-pool balance ------------------------------------------------
-  const wire::FramePool::Stats& pool = wire::FramePool::instance().stats();
-  check(report, pool.released > pool.acquired,
-        "frame pool: released " + u64(pool.released) +
-            " exceeds acquired " + u64(pool.acquired));
-  check(report, pool.live != pool.acquired - pool.released,
-        "frame pool: live " + u64(pool.live) + " != acquired " +
-            u64(pool.acquired) + " - released " + u64(pool.released));
+  // One balance sheet per shard pool (a single global one when
+  // unsharded). Cross-shard handoffs are byte copies, so every buffer
+  // releases into the pool that acquired it and each sheet must balance
+  // on its own.
+  const std::vector<wire::FramePool::Stats> pools = exp.frame_pool_stats();
+  for (std::size_t i = 0; i < pools.size(); ++i) {
+    const wire::FramePool::Stats& pool = pools[i];
+    const std::string who =
+        pools.size() == 1 ? std::string("frame pool")
+                          : "frame pool (shard " + std::to_string(i) + ")";
+    check(report, pool.released > pool.acquired,
+          who + ": released " + u64(pool.released) + " exceeds acquired " +
+              u64(pool.acquired));
+    check(report, pool.live != pool.acquired - pool.released,
+          who + ": live " + u64(pool.live) + " != acquired " +
+              u64(pool.acquired) + " - released " + u64(pool.released));
+  }
 
   return report;
 }

@@ -1,0 +1,68 @@
+// Cross-shard egress surface of a phys::Link.
+//
+// When the cluster runs sharded (sim/sharded.hpp), a link whose endpoints
+// live on different shards cannot keep its in-flight FIFO as scheduler
+// events: the receiver's queue belongs to another thread. Instead the
+// link hands every accepted frame to a RemoteSink at transmit time and
+// delegates the queries the intra-shard FIFO used to answer. The sink —
+// implemented by the sharded engine — copies the frame bytes into an SPSC
+// mailbox stamped with (fire_at, the seq reserved on the sender shard)
+// plus the scheduling provenance the receiver needs to merge it into
+// global order. Handing off bytes rather than handles is what severs
+// every refcount and pool interaction between shards.
+//
+// All methods are called from the sender shard's execution context only
+// (transmit, impairment draws) or from a control barrier with every
+// worker parked (link down, impairment reconfiguration).
+#pragma once
+
+#include <cstddef>
+
+#include "common/types.hpp"
+#include "wire/framebuf.hpp"
+
+namespace netclone::sim {
+
+class RemoteSink {
+ public:
+  RemoteSink() = default;
+  RemoteSink(const RemoteSink&) = delete;
+  RemoteSink& operator=(const RemoteSink&) = delete;
+  virtual ~RemoteSink() = default;
+
+  /// Accepts a frame for delivery at `deliver_at` on the receiving shard.
+  /// Copies the bytes; the caller keeps (and releases) the handle.
+  /// `counted_queued` mirrors the intra-shard drop-tail occupancy flag;
+  /// `mutable_in_flight` marks the entry as swappable until delivery
+  /// (reorder impairment active), which makes the receiver synchronize on
+  /// the sender's clock before reading the bytes.
+  virtual void enqueue(SimTime deliver_at, const wire::FrameHandle& frame,
+                       bool counted_queued, bool mutable_in_flight) = 0;
+
+  /// Frames still holding a drop-tail occupancy slot — the undelivered
+  /// entries flagged counted_queued. Exact: an entry stops counting at
+  /// the instant its delivery fires on the receiver, decided by the same
+  /// (time, provenance) order the merge uses.
+  [[nodiscard]] virtual std::size_t queued() = 0;
+
+  /// Undelivered frames, the remote analogue of the FIFO depth.
+  [[nodiscard]] virtual std::size_t in_flight() = 0;
+
+  /// Reorder impairment: swaps the frame bytes of the two most recently
+  /// enqueued undelivered entries. Returns false when fewer than two are
+  /// undelivered (the caller then skips the swap, as the intra-shard path
+  /// does when the FIFO is shallow).
+  virtual bool swap_last_two() = 0;
+
+  /// Link-down flush: marks every undelivered entry dead (the receiver
+  /// skips them silently) and returns how many were dropped.
+  virtual std::size_t flush() = 0;
+
+  /// A reorder impairment was installed mid-run: everything already in
+  /// flight becomes swappable, so the receiver must start synchronizing
+  /// on the sender clock for those entries too. Called only from a
+  /// control barrier.
+  virtual void make_all_mutable() = 0;
+};
+
+}  // namespace netclone::sim

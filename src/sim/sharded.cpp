@@ -1,0 +1,598 @@
+#include "sim/sharded.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+#include <span>
+#include <string>
+
+#include "common/hash.hpp"
+
+namespace netclone::sim {
+
+namespace {
+
+std::size_t env_count(const char* name, std::size_t max) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') {
+    return 0;
+  }
+  char* end = nullptr;
+  const long v = std::strtol(raw, &end, 10);
+  NETCLONE_CHECK(end != raw && *end == '\0' && v >= 1 &&
+                     static_cast<std::size_t>(v) <= max,
+                 "invalid shard-count environment value");
+  return static_cast<std::size_t>(v);
+}
+
+}  // namespace
+
+std::size_t shards_from_env() { return env_count("NETCLONE_SHARDS", 64); }
+
+std::size_t shard_threads_from_env() {
+  return env_count("NETCLONE_SHARD_THREADS", 256);
+}
+
+// -- Shard -------------------------------------------------------------------
+
+Shard::Shard(std::size_t index, const std::string& name, std::uint64_t seed)
+    : index_(index),
+      name_(name),
+      rng_(mix64(seed ^ fnv1a(name))),
+      track_stamps_(true) {}
+
+Shard::~Shard() = default;
+
+DrawStamp Shard::take_reserved_stamp(std::uint64_t seq) {
+  auto it = reserved_stamps_.find(seq);
+  NETCLONE_CHECK(it != reserved_stamps_.end(),
+                 "no provenance recorded for reserved seq");
+  const DrawStamp s = it->second;
+  reserved_stamps_.erase(it);
+  return s;
+}
+
+void Shard::note_slot_stamp(std::uint32_t slot) {
+  if (slot >= slot_stamps_.size()) {
+    slot_stamps_.resize(slot + 1);
+  }
+  slot_stamps_[slot] = DrawStamp::child_of(current_stamp_, now_.ns());
+}
+
+void Shard::adopt_reserved_stamp(std::uint32_t slot, std::uint64_t seq) {
+  auto it = reserved_stamps_.find(seq);
+  NETCLONE_CHECK(it != reserved_stamps_.end(),
+                 "no provenance recorded for reserved seq");
+  if (slot >= slot_stamps_.size()) {
+    slot_stamps_.resize(slot + 1);
+  }
+  slot_stamps_[slot] = it->second;
+  reserved_stamps_.erase(it);
+}
+
+bool Shard::try_absorb_event(SimTime when, std::uint64_t seq) {
+  NETCLONE_CHECK(when >= now_, "cannot absorb an event in the past");
+  if (when.ns() >= pass_bound_) {
+    // Beyond what this pass may commit: a cross-shard delivery could
+    // still land before it.
+    return false;
+  }
+  const auto it = reserved_stamps_.find(seq);
+  NETCLONE_CHECK(it != reserved_stamps_.end(),
+                 "no provenance recorded for reserved seq");
+  if (const FrontierItem* top = frontier_top(); top != nullptr) {
+    if (top->when < when.ns() ||
+        (top->when == when.ns() && top->stamp < it->second)) {
+      return false;  // a remote delivery is ordered first
+    }
+  }
+  if (!arena_.none_before(when, seq)) {
+    return false;
+  }
+  now_ = when;
+  ++absorbed_;
+  current_stamp_ = it->second;
+  reserved_stamps_.erase(it);
+  return true;
+}
+
+const Shard::FrontierItem* Shard::frontier_top() {
+  return frontier_.empty() ? nullptr : frontier_.data();
+}
+
+void Shard::frontier_pop() {
+  const auto gt = [](const FrontierItem& a, const FrontierItem& b) {
+    return frontier_less(b, a);
+  };
+  std::pop_heap(frontier_.begin(), frontier_.end(), gt);
+  frontier_.pop_back();
+}
+
+void Shard::drain_rings(std::int64_t bound_ns) {
+  const auto gt = [](const FrontierItem& a, const FrontierItem& b) {
+    return frontier_less(b, a);
+  };
+  // Purge entries a control barrier killed (link-down flush) while this
+  // shard was parked. Their ring slots must not be retired while the
+  // frontier still points at them, so the purge precedes retire().
+  const auto dead = [](const FrontierItem& it) {
+    return it.ring->entry(it.fifo).state == detail::RemoteEntry::kDead;
+  };
+  if (std::any_of(frontier_.begin(), frontier_.end(), dead)) {
+    std::erase_if(frontier_, dead);
+    std::make_heap(frontier_.begin(), frontier_.end(), gt);
+  }
+  for (detail::CrossShardRing* ring : in_rings_) {
+    const std::uint64_t published = ring->published();
+    while (ring->drained() < published) {
+      detail::RemoteEntry& e = ring->entry(ring->drained());
+      if (e.state == detail::RemoteEntry::kDead) {
+        ring->advance_drained();
+        continue;
+      }
+      if (e.deliver_at_ns >= bound_ns) {
+        break;  // per-ring deliver_at is strictly increasing
+      }
+      frontier_.push_back(FrontierItem{e.deliver_at_ns, e.stamp,
+                                       ring->link_id(), ring->drained(),
+                                       ring});
+      std::push_heap(frontier_.begin(), frontier_.end(), gt);
+      ring->advance_drained();
+    }
+    ring->retire();
+  }
+}
+
+Shard::RunResult Shard::run_to(std::int64_t bound_ns) {
+  RunResult res;
+  if (bound_ns <= clock_.load(std::memory_order_relaxed)) {
+    // No-op guard. Doubles as the control-barrier fence: while every
+    // shard is parked at the barrier (bound capped by ctrl_next <=
+    // clock), workers return here without touching rings or arenas, so
+    // the control thread may mutate them freely.
+    return res;
+  }
+  wire::ScopedPoolBinding bind(pool_);
+  pass_bound_ = bound_ns;
+  drain_rings(bound_ns);
+  while (true) {
+    SimTime lwhen;
+    std::uint64_t lseq = 0;
+    std::uint32_t lslot = 0;
+    const bool have_local = arena_.peek_key(lwhen, lseq, lslot);
+    const FrontierItem* top = frontier_top();
+    bool take_frontier = false;
+    std::int64_t next_ns = bound_ns;
+    if (!have_local && top == nullptr) {
+      next_ns = bound_ns;
+    } else if (!have_local) {
+      take_frontier = true;
+      next_ns = top->when;
+    } else if (top == nullptr) {
+      next_ns = lwhen.ns();
+    } else {
+      NETCLONE_CHECK(lslot < slot_stamps_.size(),
+                     "local event has no provenance stamp");
+      const DrawStamp& ls = slot_stamps_[lslot];
+      if (top->when != lwhen.ns()) {
+        take_frontier = top->when < lwhen.ns();
+      } else if (top->stamp != ls) {
+        take_frontier = top->stamp < ls;
+      } else {
+        take_frontier = false;  // full tie: local first, for every N
+      }
+      next_ns = take_frontier ? top->when : lwhen.ns();
+    }
+    if (next_ns >= bound_ns) {
+      set_clock(bound_ns);
+      return res;
+    }
+    if (take_frontier) {
+      detail::RemoteEntry& e = top->ring->entry(top->fifo);
+      if (e.mutable_in_flight && top->ring->src_clock() < top->when) {
+        // Late-freeze: the sender may still swap these bytes (reorder
+        // impairment) at times strictly before deliver_at. Park until
+        // its clock passes the delivery instant; publishing our own
+        // progress first keeps the cluster live.
+        set_clock(next_ns);
+        res.parked = true;
+        return res;
+      }
+      now_ = SimTime::nanoseconds(top->when);
+      current_stamp_ = e.stamp;
+      ++executed_;
+      res.progressed = true;
+      wire::FrameHandle frame = wire::FrameHandle::copy_of(
+          std::span<const std::byte>(e.bytes.data(), e.bytes.size()));
+      detail::CrossShardRing* ring = top->ring;
+      e.state = detail::RemoteEntry::kDelivered;
+      frontier_pop();
+      ring->retire();
+      ring->deliver_(std::move(frame));
+    } else {
+      // Copy the stamp before pop releases the slot for reuse.
+      current_stamp_ = slot_stamps_[lslot];
+      SimTime when;
+      EventCallback cb;
+      const bool ok = arena_.pop(when, cb);
+      NETCLONE_CHECK(ok && when == lwhen, "arena head changed under peek");
+      now_ = when;
+      ++executed_;
+      res.progressed = true;
+      cb();
+    }
+  }
+}
+
+// -- ShardRemoteSink ---------------------------------------------------------
+
+namespace {
+
+/// RemoteSink wired to one cross-shard ring: byte-copies frames in,
+/// mirrors the intra-shard FIFO's occupancy queries with a sender-side
+/// shadow ordered by the same (time, provenance) predicate the merge
+/// uses.
+class ShardRemoteSink final : public RemoteSink {
+ public:
+  ShardRemoteSink(Shard& src, detail::CrossShardRing& ring)
+      : src_(src), ring_(ring) {}
+
+  void enqueue(SimTime deliver_at, const wire::FrameHandle& frame,
+               bool counted_queued, bool mutable_in_flight) override {
+    prune();
+    // Consume a sender-shard seq exactly as the intra-shard FIFO would —
+    // the reservation stream (and every later tie on it) stays identical
+    // for every shard assignment.
+    const std::uint64_t seq = src_.reserve_seq();
+    const DrawStamp stamp = src_.take_reserved_stamp(seq);
+    const std::uint64_t fifo = ring_.claim();
+    detail::RemoteEntry& e = ring_.entry(fifo);
+    e.deliver_at_ns = deliver_at.ns();
+    e.src_seq = seq;
+    e.stamp = stamp;
+    e.mutable_in_flight = mutable_in_flight;
+    e.state = detail::RemoteEntry::kLive;
+    e.bytes.resize(frame.size());
+    frame.copy_to(e.bytes.data());
+    ring_.publish();
+    shadow_.push_back(Shadow{deliver_at.ns(), stamp, fifo, counted_queued});
+    if (counted_queued) {
+      ++queued_;
+    }
+  }
+
+  std::size_t queued() override {
+    prune();
+    return queued_;
+  }
+
+  std::size_t in_flight() override {
+    prune();
+    return shadow_.size();
+  }
+
+  bool swap_last_two() override {
+    prune();
+    if (shadow_.size() < 2) {
+      return false;
+    }
+    // Only the frame bytes swap; delivery times and provenance stay with
+    // the slot, as in the intra-shard FIFO. Both entries are mutable and
+    // their receiver is parked behind our clock (late-freeze), so the
+    // writes are safe.
+    detail::RemoteEntry& a = ring_.entry(shadow_[shadow_.size() - 1].fifo);
+    detail::RemoteEntry& b = ring_.entry(shadow_[shadow_.size() - 2].fifo);
+    a.bytes.swap(b.bytes);
+    return true;
+  }
+
+  std::size_t flush() override {
+    // Control-barrier context: every shard is parked and everything
+    // before the fault instant has been delivered, so state == kLive is
+    // exactly "undelivered". The shadow's lazily-pruned view must not be
+    // consulted here — the sender's clock is stale at a barrier.
+    std::size_t dropped = 0;
+    for (const Shadow& s : shadow_) {
+      detail::RemoteEntry& e = ring_.entry(s.fifo);
+      if (e.state == detail::RemoteEntry::kLive) {
+        e.state = detail::RemoteEntry::kDead;
+        ++dropped;
+      }
+    }
+    shadow_.clear();
+    queued_ = 0;
+    return dropped;
+  }
+
+  void make_all_mutable() override {
+    for (const Shadow& s : shadow_) {
+      ring_.entry(s.fifo).mutable_in_flight = true;
+    }
+  }
+
+ private:
+  struct Shadow {
+    std::int64_t deliver_at_ns;
+    DrawStamp stamp;
+    std::uint64_t fifo;
+    bool counted;
+  };
+
+  /// Drops entries whose delivery is ordered at or before the sender's
+  /// current event — the instant the intra-shard FIFO would have popped
+  /// them. Sender-context only.
+  void prune() {
+    while (!shadow_.empty() &&
+           !src_.ordered_after_current(shadow_.front().deliver_at_ns,
+                                       shadow_.front().stamp)) {
+      if (shadow_.front().counted) {
+        --queued_;
+      }
+      shadow_.pop_front();
+    }
+  }
+
+  Shard& src_;
+  detail::CrossShardRing& ring_;
+  std::deque<Shadow> shadow_;
+  std::size_t queued_ = 0;
+};
+
+}  // namespace
+
+// -- ShardedSimulator --------------------------------------------------------
+
+ShardedSimulator::ShardedSimulator(std::size_t num_shards,
+                                   std::uint64_t seed)
+    : seed_(seed) {
+  NETCLONE_CHECK(num_shards >= 1 && num_shards <= 64,
+                 "shard count out of range");
+  shards_.reserve(num_shards);
+  in_edges_.resize(num_shards);
+  for (std::size_t i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(
+        i, "shard" + std::to_string(i), seed));
+  }
+  std::size_t t = shard_threads_from_env();
+  if (t == 0) {
+    const unsigned hc = std::thread::hardware_concurrency();
+    t = hc == 0 ? 1 : hc;
+  }
+  threads_ = std::min(t, num_shards);
+  owned_.resize(threads_);
+  for (std::size_t i = 0; i < num_shards; ++i) {
+    owned_[i % threads_].push_back(shards_[i].get());
+  }
+}
+
+ShardedSimulator::~ShardedSimulator() {
+  if (!workers_.empty()) {
+    shutdown_.store(true, std::memory_order_release);
+    epoch_.fetch_add(1, std::memory_order_release);
+    epoch_.notify_all();
+    for (std::thread& t : workers_) {
+      t.join();
+    }
+  }
+}
+
+RemoteSink& ShardedSimulator::attach_remote(
+    std::size_t src_shard, std::size_t dst_shard, std::uint32_t link_id,
+    SimTime link_delay, std::function<void(wire::FrameHandle)> deliver) {
+  NETCLONE_CHECK(!sealed_, "cannot attach links after the first run");
+  NETCLONE_CHECK(src_shard < shards_.size() && dst_shard < shards_.size() &&
+                     src_shard != dst_shard,
+                 "bad cross-shard link endpoints");
+  NETCLONE_CHECK(link_delay > SimTime::zero(),
+                 "cross-shard links need positive delay — it is the "
+                 "lookahead window");
+  auto ring = std::make_unique<detail::CrossShardRing>(
+      link_id, src_shard, shards_[src_shard]->clock_cell(),
+      std::move(deliver));
+  shards_[dst_shard]->in_rings_.push_back(ring.get());
+  bool merged = false;
+  for (InEdge& e : in_edges_[dst_shard]) {
+    if (e.src == src_shard) {
+      e.delta_ns = std::min(e.delta_ns, link_delay.ns());
+      merged = true;
+    }
+  }
+  if (!merged) {
+    in_edges_[dst_shard].push_back(InEdge{src_shard, link_delay.ns()});
+  }
+  rings_.push_back(std::move(ring));
+  sinks_.push_back(std::make_unique<ShardRemoteSink>(*shards_[src_shard],
+                                                     *rings_.back()));
+  return *sinks_.back();
+}
+
+void ShardedSimulator::seal() { sealed_ = true; }
+
+std::int64_t ShardedSimulator::bound_for(const Shard& s, std::int64_t cap) {
+  std::int64_t b =
+      std::min(cap, control_next_.load(std::memory_order_acquire));
+  for (const InEdge& e : in_edges_[s.index()]) {
+    b = std::min(b, shards_[e.src]->clock_ns() + e.delta_ns);
+  }
+  return b;
+}
+
+void ShardedSimulator::refresh_control_next() {
+  SimTime when;
+  control_next_.store(control_arena_.peek(when)
+                          ? when.ns()
+                          : std::numeric_limits<std::int64_t>::max(),
+                      std::memory_order_release);
+}
+
+bool ShardedSimulator::maybe_run_control(std::int64_t cap) {
+  const std::int64_t f = control_next_.load(std::memory_order_relaxed);
+  if (f >= cap) {
+    return false;  // nothing due inside this run
+  }
+  for (const auto& sp : shards_) {
+    if (sp->clock_ns() < f) {
+      return false;  // a shard still has work before the barrier
+    }
+  }
+  // Barrier reached: every shard has committed exactly the events before
+  // `f` and is parked (its bound is capped by control_next_ <= clock), so
+  // this thread may touch shard state. Advance the shard clocks' local
+  // views to the barrier instant first — control callbacks read now()
+  // through shard schedulers (link busy windows, reschedules).
+  committed_ = f;
+  const SimTime now = SimTime::nanoseconds(f);
+  for (const auto& sp : shards_) {
+    if (sp->now_ < now) {
+      sp->now_ = now;
+    }
+  }
+  SimTime when;
+  EventCallback cb;
+  while (control_arena_.pop_due(now, when, cb)) {
+    NETCLONE_CHECK(when == now, "control event skipped its barrier");
+    ++control_executed_;
+    cb();
+  }
+  // The release store is what lets parked workers past the barrier — and
+  // what publishes every mutation the control events made.
+  refresh_control_next();
+  return true;
+}
+
+bool ShardedSimulator::all_done(std::int64_t cap) const {
+  if (control_next_.load(std::memory_order_acquire) < cap) {
+    return false;
+  }
+  for (const auto& sp : shards_) {
+    if (sp->clock_ns() < cap) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void ShardedSimulator::run_passes(std::size_t worker, std::int64_t cap) {
+  int idle = 0;
+  while (!all_done(cap)) {
+    bool progressed = false;
+    if (worker == 0) {
+      progressed |= maybe_run_control(cap);
+    }
+    for (Shard* s : owned_[worker]) {
+      progressed |= s->run_to(bound_for(*s, cap)).progressed;
+    }
+    if (progressed) {
+      idle = 0;
+    } else if (++idle > 64) {
+      std::this_thread::yield();
+    }
+  }
+}
+
+void ShardedSimulator::run_serial(std::int64_t cap) {
+  while (!all_done(cap)) {
+    if (maybe_run_control(cap)) {
+      continue;
+    }
+    for (const auto& sp : shards_) {
+      (void)sp->run_to(bound_for(*sp, cap));
+    }
+  }
+}
+
+void ShardedSimulator::ensure_workers() {
+  if (!workers_.empty() || threads_ <= 1) {
+    return;
+  }
+  workers_.reserve(threads_ - 1);
+  for (std::size_t w = 1; w < threads_; ++w) {
+    workers_.emplace_back([this, w] { worker_main(w); });
+  }
+}
+
+void ShardedSimulator::worker_main(std::size_t worker) {
+  std::uint64_t seen = 0;
+  while (true) {
+    epoch_.wait(seen, std::memory_order_acquire);
+    if (shutdown_.load(std::memory_order_acquire)) {
+      return;
+    }
+    seen = epoch_.load(std::memory_order_acquire);
+    run_passes(worker, cap_.load(std::memory_order_relaxed));
+    done_workers_.fetch_add(1, std::memory_order_release);
+  }
+}
+
+void ShardedSimulator::run_parallel(std::int64_t cap) {
+  ensure_workers();
+  cap_.store(cap, std::memory_order_relaxed);
+  done_workers_.store(0, std::memory_order_relaxed);
+  epoch_.fetch_add(1, std::memory_order_release);
+  epoch_.notify_all();
+  run_passes(0, cap);
+  while (done_workers_.load(std::memory_order_acquire) < threads_ - 1) {
+    std::this_thread::yield();
+  }
+}
+
+void ShardedSimulator::run_until(SimTime deadline) {
+  NETCLONE_CHECK(deadline.ns() >= committed_,
+                 "run_until deadline went backwards");
+  seal();
+  refresh_control_next();
+  // run_until's contract is inclusive: events *at* the deadline run too.
+  const std::int64_t cap = deadline.ns() + 1;
+  if (threads_ <= 1) {
+    run_serial(cap);
+  } else {
+    run_parallel(cap);
+  }
+  committed_ = deadline.ns();
+  for (const auto& sp : shards_) {
+    sp->finish_until(deadline);
+  }
+}
+
+std::uint64_t ShardedSimulator::executed_events() const {
+  std::uint64_t n = control_executed_;
+  for (const auto& sp : shards_) {
+    n += sp->executed_events();
+  }
+  return n;
+}
+
+std::uint64_t ShardedSimulator::absorbed_events() const {
+  std::uint64_t n = 0;
+  for (const auto& sp : shards_) {
+    n += sp->absorbed_events();
+  }
+  return n;
+}
+
+std::size_t ShardedSimulator::pending_events() const {
+  std::size_t n = control_arena_.size();
+  for (const auto& sp : shards_) {
+    n += sp->pending_events();
+  }
+  return n;
+}
+
+// -- ControlScheduler --------------------------------------------------------
+
+EventId ShardedSimulator::ControlScheduler::schedule_at(
+    SimTime when, EventCallback action) {
+  NETCLONE_CHECK(when >= now(), "cannot schedule an event in the past");
+  // control_next_ is deliberately NOT refreshed here: run_until refreshes
+  // at entry and maybe_run_control at batch end. A refresh mid-batch
+  // could release parked workers before the batch's mutations finish.
+  return owner_.control_arena_.insert(when, std::move(action));
+}
+
+EventId ShardedSimulator::ControlScheduler::schedule_at_seq(
+    SimTime when, std::uint64_t seq, EventCallback action) {
+  NETCLONE_CHECK(when >= now(), "cannot schedule an event in the past");
+  return owner_.control_arena_.insert_at_seq(when, seq, std::move(action));
+}
+
+}  // namespace netclone::sim

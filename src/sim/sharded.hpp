@@ -1,0 +1,473 @@
+// Sharded parallel discrete-event engine with a deterministic merge.
+//
+// The cluster is partitioned into N shards (per-node-group event queues):
+// each shard owns an EventArena timing wheel, its own clock, its own
+// FramePool, and its own RNG stream. Shards advance under conservative
+// synchronization in the SimBricks style: cross-shard interactions happen
+// only through phys::Link, whose propagation delay is the lookahead, so a
+// shard may safely execute up to min over in-neighbors of
+// (neighbor clock + min link delay from that neighbor). Cross-shard frame
+// deliveries travel through per-link SPSC mailboxes stamped with
+// (fire_at, the seq reserved on the sender shard) plus a bounded-depth
+// scheduling-provenance chain; the receiver merges mailbox entries
+// against its own arena head in (fire_at, provenance) order before each
+// commit step, which is what keeps same-seed digests bit-identical for
+// every shard count — including N=1 and the unsharded legacy engine.
+//
+// Worker threads are decoupled from the shard count: digests depend only
+// on N, never on how many threads advance the shards (a single thread
+// round-robins them through identical bounds). NETCLONE_SHARDS selects N;
+// NETCLONE_SHARD_THREADS caps the workers (default: hardware threads).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "sim/event_arena.hpp"
+#include "sim/remote_sink.hpp"
+#include "sim/scheduler.hpp"
+#include "wire/framebuf.hpp"
+
+namespace netclone::sim {
+
+/// Shard count requested via NETCLONE_SHARDS (0 = unset: callers keep the
+/// unsharded legacy engine). Read once per call; values outside [1, 64]
+/// fail loudly.
+[[nodiscard]] std::size_t shards_from_env();
+
+/// Worker-thread cap via NETCLONE_SHARD_THREADS (0 = unset: one worker
+/// per hardware thread, at most one per shard).
+[[nodiscard]] std::size_t shard_threads_from_env();
+
+/// Bounded-depth scheduling provenance: tick[0] is the clock value at
+/// which an event's tie-break seq was drawn, tick[1] the draw tick of the
+/// event that drew it, and so on. In the single-queue engine, seqs are
+/// drawn in execution order, so comparing two events at the same fire
+/// time by these chains (lexicographically) reproduces the global seq
+/// order exactly as long as the chains diverge within kDepth levels —
+/// deeper ties fall back to a fixed build-order rule that is identical
+/// for every shard count. -1 pads exhausted chains (the pre-run root
+/// context).
+struct DrawStamp {
+  static constexpr std::size_t kDepth = 6;
+  std::array<std::int64_t, kDepth> tick{-1, -1, -1, -1, -1, -1};
+
+  friend auto operator<=>(const DrawStamp&, const DrawStamp&) = default;
+
+  /// The stamp of a draw made now, inside an event carrying `parent`.
+  [[nodiscard]] static DrawStamp child_of(const DrawStamp& parent,
+                                          std::int64_t now_ns) {
+    DrawStamp s;
+    s.tick[0] = now_ns;
+    for (std::size_t i = 1; i < kDepth; ++i) {
+      s.tick[i] = parent.tick[i - 1];
+    }
+    return s;
+  }
+};
+
+class Shard;
+class ShardedSimulator;
+
+namespace detail {
+
+/// One mailbox slot: the frame bytes plus everything the receiver needs
+/// to merge and deliver it. Written by the sender before the publish
+/// store; the state byte is flipped by the receiver at delivery (or by a
+/// control barrier for link-down purges, with every worker parked).
+struct RemoteEntry {
+  enum State : std::uint8_t {
+    kFree = 0,
+    kLive = 1,
+    kDelivered = 2,
+    kDead = 3,
+  };
+
+  std::int64_t deliver_at_ns = 0;
+  /// Tie-break seq reserved on the sender shard at transmit — consumed
+  /// there whether or not the link is remote, so the sender's seq stream
+  /// (and every later same-tick ordering on it) is identical to the
+  /// intra-shard wiring of the same link.
+  std::uint64_t src_seq = 0;
+  DrawStamp stamp{};
+  std::uint8_t state = kFree;
+  /// Swappable until delivered (reorder impairment): the receiver must
+  /// wait for the sender clock to pass deliver_at before reading bytes.
+  bool mutable_in_flight = false;
+  std::vector<std::byte> bytes;
+};
+
+/// SPSC mailbox for one cross-shard directed link. The sender pushes at
+/// the tail (publishing with a release store), the receiver drains keys
+/// into its frontier and retires delivered entries in order. deliver_at
+/// is strictly increasing along a link (serialization time is at least a
+/// nanosecond), which is what makes per-ring order, retirement, and the
+/// at-most-one-entry-per-tick pruning argument work.
+class CrossShardRing {
+ public:
+  static constexpr std::size_t kCapacity = 4096;
+
+  CrossShardRing(std::uint32_t link_id, std::size_t src_shard,
+                 const std::atomic<std::int64_t>* src_clock,
+                 std::function<void(wire::FrameHandle)> deliver)
+      : link_id_(link_id),
+        src_shard_(src_shard),
+        src_clock_(src_clock),
+        deliver_(std::move(deliver)),
+        slots_(kCapacity) {}
+
+  [[nodiscard]] std::uint32_t link_id() const { return link_id_; }
+  [[nodiscard]] std::size_t src_shard() const { return src_shard_; }
+  [[nodiscard]] std::int64_t src_clock() const {
+    return src_clock_->load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] RemoteEntry& entry(std::uint64_t fifo) {
+    return slots_[fifo % kCapacity];
+  }
+
+  // -- sender side --------------------------------------------------------
+  /// Claims the next slot; returns its fifo index. publish() makes it
+  /// visible to the receiver.
+  [[nodiscard]] std::uint64_t claim() {
+    const std::uint64_t fifo = tail_.load(std::memory_order_relaxed);
+    NETCLONE_CHECK(fifo - retired_.load(std::memory_order_acquire) <
+                       kCapacity,
+                   "cross-shard mailbox overflow");
+    return fifo;
+  }
+  void publish() {
+    tail_.store(tail_.load(std::memory_order_relaxed) + 1,
+                std::memory_order_release);
+  }
+
+  // -- receiver side ------------------------------------------------------
+  [[nodiscard]] std::uint64_t published() const {
+    return tail_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] std::uint64_t drained() const { return drained_; }
+  void advance_drained() { ++drained_; }
+  /// Retires the contiguous prefix of delivered/dead entries, freeing
+  /// their slots for sender reuse.
+  void retire() {
+    std::uint64_t r = retired_.load(std::memory_order_relaxed);
+    while (r < drained_) {
+      const std::uint8_t s = entry(r).state;
+      if (s != RemoteEntry::kDelivered && s != RemoteEntry::kDead) {
+        break;
+      }
+      ++r;
+    }
+    retired_.store(r, std::memory_order_release);
+  }
+
+ private:
+  std::uint32_t link_id_;
+  std::size_t src_shard_;
+  const std::atomic<std::int64_t>* src_clock_;
+  std::function<void(wire::FrameHandle)> deliver_;
+  std::vector<RemoteEntry> slots_;
+  std::atomic<std::uint64_t> tail_{0};
+  std::atomic<std::uint64_t> retired_{0};
+  std::uint64_t drained_ = 0;  // receiver-local: keys merged into frontier
+
+  friend class netclone::sim::Shard;
+};
+
+}  // namespace detail
+
+/// One shard: a Scheduler backed by its own EventArena plus a frontier of
+/// drained cross-shard deliveries, merged in (fire_at, provenance) order.
+/// Nodes assigned to the shard hold a Scheduler& to it and never see the
+/// difference from the single-queue engine.
+class Shard final : public Scheduler {
+ public:
+  Shard(std::size_t index, const std::string& name, std::uint64_t seed);
+  ~Shard() override;
+
+  [[nodiscard]] SimTime now() const override { return now_; }
+
+  EventId schedule_at(SimTime when, EventCallback action) override {
+    NETCLONE_CHECK(when >= now_, "cannot schedule an event in the past");
+    const EventId id = arena_.insert(when, std::move(action));
+    if (track_stamps_) {
+      note_slot_stamp(id.slot);
+    }
+    return id;
+  }
+
+  [[nodiscard]] std::uint64_t reserve_seq() override {
+    const std::uint64_t seq = arena_.reserve_seq();
+    if (track_stamps_) {
+      reserved_stamps_.emplace(
+          seq, DrawStamp::child_of(current_stamp_, now_.ns()));
+    }
+    return seq;
+  }
+
+  EventId schedule_at_seq(SimTime when, std::uint64_t seq,
+                          EventCallback action) override {
+    NETCLONE_CHECK(when >= now_, "cannot schedule an event in the past");
+    const EventId id = arena_.insert_at_seq(when, seq, std::move(action));
+    if (track_stamps_) {
+      adopt_reserved_stamp(id.slot, seq);
+    }
+    return id;
+  }
+
+  void cancel(EventId id) override { arena_.cancel(id); }
+
+  [[nodiscard]] bool try_absorb_event(SimTime when,
+                                      std::uint64_t seq) override;
+
+  void note_absorbed_events(std::uint64_t n) override { absorbed_ += n; }
+
+  [[nodiscard]] std::size_t index() const { return index_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  /// Shard-local RNG stream, seeded mix64(seed ^ fnv1a(shard_name)).
+  [[nodiscard]] Rng& rng() { return rng_; }
+  [[nodiscard]] wire::FramePool& pool() { return pool_; }
+  [[nodiscard]] const wire::FramePool& pool() const { return pool_; }
+  [[nodiscard]] std::uint64_t executed_events() const {
+    return executed_ + absorbed_;
+  }
+  [[nodiscard]] std::uint64_t absorbed_events() const { return absorbed_; }
+  [[nodiscard]] std::size_t pending_events() const { return arena_.size(); }
+
+  /// Lower bound (ns) on the time of anything this shard will still
+  /// execute; the quantity neighbors read to compute their safe bound.
+  [[nodiscard]] std::int64_t clock_ns() const {
+    return clock_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] const std::atomic<std::int64_t>* clock_cell() const {
+    return &clock_;
+  }
+
+  /// True when an event at (when, stamp) fires after the currently
+  /// executing one — the pending/delivered predicate remote sinks use to
+  /// keep drop-tail occupancy exact across the shard boundary.
+  [[nodiscard]] bool ordered_after_current(std::int64_t when_ns,
+                                           const DrawStamp& stamp) const {
+    if (when_ns != now_.ns()) {
+      return when_ns > now_.ns();
+    }
+    return stamp > current_stamp_;
+  }
+
+  /// Consumes (and removes) the provenance recorded for a reservation the
+  /// caller will never materialize locally — the cross-shard mailbox
+  /// stamp.
+  [[nodiscard]] DrawStamp take_reserved_stamp(std::uint64_t seq);
+
+  [[nodiscard]] const DrawStamp& current_stamp() const {
+    return current_stamp_;
+  }
+
+ private:
+  friend class ShardedSimulator;
+
+  struct FrontierItem {
+    std::int64_t when;
+    DrawStamp stamp;
+    std::uint32_t link_id;
+    std::uint64_t fifo;
+    detail::CrossShardRing* ring;
+  };
+
+  struct RunResult {
+    bool progressed = false;
+    /// Stopped on a mutable entry whose sender clock hasn't passed it;
+    /// the caller retries after other shards advance.
+    bool parked = false;
+  };
+
+  /// Executes everything (arena + frontier, merged) strictly before
+  /// `bound_ns`, then publishes clock = bound.
+  RunResult run_to(std::int64_t bound_ns);
+
+  void drain_rings(std::int64_t bound_ns);
+  /// Frontier head, with dead entries popped and retired. nullptr when
+  /// empty.
+  [[nodiscard]] const FrontierItem* frontier_top();
+  void frontier_pop();
+  [[nodiscard]] static bool frontier_less(const FrontierItem& a,
+                                          const FrontierItem& b) {
+    if (a.when != b.when) {
+      return a.when < b.when;
+    }
+    if (a.stamp != b.stamp) {
+      return a.stamp < b.stamp;
+    }
+    if (a.link_id != b.link_id) {
+      return a.link_id < b.link_id;
+    }
+    return a.fifo < b.fifo;
+  }
+
+  void note_slot_stamp(std::uint32_t slot);
+  void adopt_reserved_stamp(std::uint32_t slot, std::uint64_t seq);
+  void set_clock(std::int64_t ns) {
+    if (ns > clock_.load(std::memory_order_relaxed)) {
+      clock_.store(ns, std::memory_order_release);
+    }
+  }
+  void finish_until(SimTime deadline) {
+    NETCLONE_CHECK(now_ <= deadline, "shard clock ran past the deadline");
+    now_ = deadline;
+  }
+
+  std::size_t index_;
+  std::string name_;
+  // Destruction order matters: the arena's callbacks (and whatever frames
+  // they captured) must die before the pool they came from, so the pool
+  // is declared first.
+  wire::FramePool pool_;
+  EventArena arena_;
+  SimTime now_ = SimTime::zero();
+  std::atomic<std::int64_t> clock_{0};
+  std::int64_t pass_bound_ = std::numeric_limits<std::int64_t>::max();
+  std::uint64_t executed_ = 0;
+  std::uint64_t absorbed_ = 0;
+  Rng rng_;
+
+  bool track_stamps_ = false;
+  DrawStamp current_stamp_{};
+  std::vector<DrawStamp> slot_stamps_;
+  std::unordered_map<std::uint64_t, DrawStamp> reserved_stamps_;
+
+  /// Min-heap (via std::*_heap with the inverse comparator) of drained
+  /// cross-shard deliveries.
+  std::vector<FrontierItem> frontier_;
+  std::vector<detail::CrossShardRing*> in_rings_;
+};
+
+/// The sharded engine front end: owns the shards, the cross-shard
+/// mailboxes, and a control queue for barrier-synchronized global
+/// operations (fault injection, test-scheduled events). Not itself a
+/// Scheduler — nodes schedule on their shard; control work goes through
+/// control().
+class ShardedSimulator {
+ public:
+  ShardedSimulator(std::size_t num_shards, std::uint64_t seed);
+  ~ShardedSimulator();
+
+  ShardedSimulator(const ShardedSimulator&) = delete;
+  ShardedSimulator& operator=(const ShardedSimulator&) = delete;
+
+  [[nodiscard]] std::size_t num_shards() const { return shards_.size(); }
+  [[nodiscard]] Shard& shard(std::size_t i) { return *shards_[i]; }
+  [[nodiscard]] const Shard& shard(std::size_t i) const {
+    return *shards_[i];
+  }
+
+  /// Scheduler facade for global control operations. Events scheduled
+  /// here execute on the driving thread at a barrier: every shard has
+  /// committed exactly the events before that instant and none at or
+  /// after it — the sharded equivalent of a tiny-seq event in the single
+  /// queue.
+  [[nodiscard]] Scheduler& control() { return control_sched_; }
+
+  /// Registers a cross-shard directed link. `link_id` must be the global
+  /// build-order link index (identical for every shard count — it is the
+  /// deep-tie fallback of the merge order). `deliver` runs on the
+  /// receiving shard. Must be called before the first run_until.
+  [[nodiscard]] RemoteSink& attach_remote(
+      std::size_t src_shard, std::size_t dst_shard, std::uint32_t link_id,
+      SimTime link_delay, std::function<void(wire::FrameHandle)> deliver);
+
+  /// Runs every event with time <= deadline on all shards and advances
+  /// their clocks to the deadline (the run_until contract of the legacy
+  /// engine, per shard).
+  void run_until(SimTime deadline);
+
+  /// Committed global floor: every shard's clock has passed this.
+  [[nodiscard]] SimTime now() const {
+    return SimTime::nanoseconds(committed_);
+  }
+
+  [[nodiscard]] std::uint64_t executed_events() const;
+  [[nodiscard]] std::uint64_t absorbed_events() const;
+  [[nodiscard]] std::size_t pending_events() const;
+
+  /// Worker threads that will advance the shards (resolved from
+  /// NETCLONE_SHARD_THREADS / hardware concurrency at construction).
+  [[nodiscard]] std::size_t worker_threads() const { return threads_; }
+
+ private:
+  class ControlScheduler final : public Scheduler {
+   public:
+    explicit ControlScheduler(ShardedSimulator& owner) : owner_(owner) {}
+    [[nodiscard]] SimTime now() const override {
+      return SimTime::nanoseconds(owner_.committed_);
+    }
+    EventId schedule_at(SimTime when, EventCallback action) override;
+    [[nodiscard]] std::uint64_t reserve_seq() override {
+      return owner_.control_arena_.reserve_seq();
+    }
+    EventId schedule_at_seq(SimTime when, std::uint64_t seq,
+                            EventCallback action) override;
+    [[nodiscard]] bool try_absorb_event(SimTime, std::uint64_t) override {
+      return false;  // conservative answer, always allowed
+    }
+    void note_absorbed_events(std::uint64_t) override {}
+    void cancel(EventId id) override { owner_.control_arena_.cancel(id); }
+
+   private:
+    ShardedSimulator& owner_;
+  };
+
+  void seal();
+  /// Safe execution bound for one shard: min over in-neighbors of
+  /// (their clock + lookahead), capped by the next control event and the
+  /// run deadline.
+  [[nodiscard]] std::int64_t bound_for(const Shard& s, std::int64_t cap);
+  bool maybe_run_control(std::int64_t cap);
+  void refresh_control_next();
+  void run_passes(std::size_t worker, std::int64_t cap);
+  void run_serial(std::int64_t cap);
+  void run_parallel(std::int64_t cap);
+  void ensure_workers();
+  void worker_main(std::size_t worker);
+  [[nodiscard]] bool all_done(std::int64_t cap) const;
+
+  struct InEdge {
+    std::size_t src;
+    std::int64_t delta_ns;
+  };
+
+  std::uint64_t seed_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::unique_ptr<detail::CrossShardRing>> rings_;
+  std::vector<std::unique_ptr<RemoteSink>> sinks_;
+  std::vector<std::vector<InEdge>> in_edges_;
+  bool sealed_ = false;
+
+  ControlScheduler control_sched_{*this};
+  EventArena control_arena_;
+  std::int64_t committed_ = 0;
+  std::uint64_t control_executed_ = 0;
+  std::atomic<std::int64_t> control_next_{
+      std::numeric_limits<std::int64_t>::max()};
+
+  std::size_t threads_ = 1;
+  std::vector<std::vector<Shard*>> owned_;  // shards per worker
+  std::vector<std::thread> workers_;
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<std::int64_t> cap_{0};
+  std::atomic<std::uint32_t> done_workers_{0};
+  std::atomic<bool> shutdown_{false};
+};
+
+}  // namespace netclone::sim
