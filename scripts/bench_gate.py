@@ -2,8 +2,9 @@
 """Benchmark regression gate.
 
 Runs the repo's microbenchmarks (bench_sim_engine, bench_packet_path,
-bench_pisa_pipeline, bench_host_path), compares the results against the
-committed BENCH_*.json baselines, and fails loudly on regression.
+bench_pisa_pipeline, bench_host_path, bench_fig16_failure,
+bench_parallel_engine, bench_multirack), compares the results against
+the committed BENCH_*.json baselines, and fails loudly on regression.
 
 What is gated, and how:
 
@@ -38,7 +39,7 @@ import subprocess
 import sys
 
 BENCHES = ["sim_engine", "packet_path", "pisa_pipeline", "host_path",
-           "fig16", "parallel_engine"]
+           "fig16", "parallel_engine", "multirack"]
 
 # Bench names whose binary is not simply bench_<name>.
 BINARIES = {"fig16": "bench_fig16_failure"}
@@ -52,7 +53,10 @@ BINARIES = {"fig16": "bench_fig16_failure"}
 # the sharded-determinism gate.
 EXACT_KEYS = {"fig7_completed", "fig7_p99_ns", "fig7_executed_events",
               "pipeline_checks",
-              "fig16_nofault_completed", "fig16_nofault_digest"}
+              "fig16_nofault_completed", "fig16_nofault_digest",
+              "multirack_completed", "multirack_p99_ns",
+              "multirack_executed_events", "multirack_digest",
+              "multirack_cloned_requests"}
 
 # Absolute minimum ratios, gated against the CURRENT run (both sides of
 # each ratio are measured in the same process on the same machine, so
@@ -62,6 +66,7 @@ EXACT_KEYS = {"fig7_completed", "fig7_p99_ns", "fig7_executed_events",
 # as a table row — instead of failing on noise.
 MIN_RATIOS = {
     "parallel_scaling_shard4_over_shard1": (2.0, 4),
+    "multirack_scaling_shard4_over_shard1": (2.0, 4),
 }
 
 # Informational keys that are neither ratios nor digests.

@@ -1,29 +1,63 @@
 #include "baselines/agg_router.hpp"
 
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/hash.hpp"
+
 namespace netclone::baselines {
 
 AggRouterProgram::AggRouterProgram(pisa::Pipeline& pipeline,
-                                   std::size_t num_ports)
-    : routes_(pipeline, "LpmRoutes", 0, /*capacity=*/4096),
-      tx_counters_(pipeline, "TxCounters", 1, num_ports) {}
+                                   std::size_t num_ports,
+                                   std::size_t route_capacity)
+    : num_ports_(num_ports),
+      routes_(pipeline, "LpmRoutes", 0, route_capacity),
+      tx_counters_(pipeline, "TxCounters", 1, num_ports) {
+  NETCLONE_CHECK(num_ports >= 1, "agg router needs at least one port");
+  NETCLONE_CHECK(route_capacity >= 1, "agg router needs route capacity");
+}
+
+void AggRouterProgram::check_ports(
+    const std::vector<std::size_t>& ports) const {
+  NETCLONE_CHECK(!ports.empty(), "agg route needs at least one next hop");
+  for (const std::size_t port : ports) {
+    NETCLONE_CHECK(port < num_ports_,
+                   "agg route names port " + std::to_string(port) +
+                       " but the router was sized for " +
+                       std::to_string(num_ports_) + " ports");
+  }
+}
 
 void AggRouterProgram::add_prefix(wire::Ipv4Address prefix, std::uint8_t len,
                                   std::size_t port) {
-  routes_.insert(prefix, len, port);
+  add_ecmp_prefix(prefix, len, {port});
+}
+
+void AggRouterProgram::add_ecmp_prefix(wire::Ipv4Address prefix,
+                                       std::uint8_t len,
+                                       std::vector<std::size_t> ports) {
+  check_ports(ports);
+  routes_.insert(prefix, len, NextHops{std::move(ports)});
 }
 
 void AggRouterProgram::on_ingress(wire::Packet& pkt,
                                   pisa::PacketMetadata& md,
                                   pisa::PipelinePass& pass) {
-  const auto port = routes_.lookup(pass, pkt.ip.dst);
-  if (!port) {
+  const NextHops* hops = routes_.find(pass, pkt.ip.dst);
+  if (hops == nullptr) {
     ++stats_.no_route_drops;
     md.drop = true;
     return;
   }
+  // ECMP by source address: one sender's packets stay on one path, so
+  // per-flow ordering survives the parallel trunks.
+  const std::size_t port =
+      hops->ports.size() == 1
+          ? hops->ports[0]
+          : hops->ports[crc32_u32(pkt.ip.src.value) % hops->ports.size()];
   ++stats_.routed;
-  tx_counters_.count(pass, *port, pkt.wire_size());
-  md.egress_port = *port;
+  tx_counters_.count(pass, port, pkt.wire_size());
+  md.egress_port = port;
 }
 
 }  // namespace netclone::baselines

@@ -4,9 +4,15 @@
 // at all — they run plain LPM routing and pass NetClone packets through
 // untouched. This program is exactly that: an LPM table plus per-port
 // traffic counters, with no parser branch for the NetClone header.
+//
+// Fat-tree extensions: the route capacity and port count are sized by the
+// harness from the topology (a misconfigured prefix or port fails loudly
+// at install time, not via a silent table miss), and a prefix may carry
+// several next hops — flow-hashed ECMP over the parallel agg trunks.
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "pisa/lpm_table.hpp"
 #include "pisa/program.hpp"
@@ -20,24 +26,43 @@ struct AggRouterStats {
 
 class AggRouterProgram final : public pisa::SwitchProgram {
  public:
-  AggRouterProgram(pisa::Pipeline& pipeline, std::size_t num_ports);
+  /// `num_ports` bounds the egress ports routes may name; `route_capacity`
+  /// bounds the LPM table. Both are meant to be derived from the topology
+  /// being built (ports wired, prefixes to install).
+  AggRouterProgram(pisa::Pipeline& pipeline, std::size_t num_ports,
+                   std::size_t route_capacity = 4096);
 
-  /// Installs `prefix/len -> egress port`.
+  /// Installs `prefix/len -> egress port`. Throws via NETCLONE_CHECK when
+  /// the port is not one of the switch's `num_ports` or the table is full.
   void add_prefix(wire::Ipv4Address prefix, std::uint8_t len,
                   std::size_t port);
+
+  /// Installs an ECMP route: packets matching `prefix/len` are spread
+  /// over `ports` by a hash of the source address (flow affinity — one
+  /// sender's packets stay ordered on one path).
+  void add_ecmp_prefix(wire::Ipv4Address prefix, std::uint8_t len,
+                       std::vector<std::size_t> ports);
 
   void on_ingress(wire::Packet& pkt, pisa::PacketMetadata& md,
                   pisa::PipelinePass& pass) override;
 
   [[nodiscard]] const char* name() const override { return "AggRouter"; }
   [[nodiscard]] const AggRouterStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t num_ports() const { return num_ports_; }
   /// Frames forwarded out of `port` so far (data-plane counter).
   [[nodiscard]] std::uint64_t port_packets(std::size_t port) const {
     return tx_counters_.packets(port);
   }
 
  private:
-  pisa::LpmTable<std::size_t> routes_;
+  struct NextHops {
+    std::vector<std::size_t> ports;
+  };
+
+  void check_ports(const std::vector<std::size_t>& ports) const;
+
+  std::size_t num_ports_;
+  pisa::LpmTable<NextHops> routes_;
   pisa::CounterArray tx_counters_;
   AggRouterStats stats_;
 };

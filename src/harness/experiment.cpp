@@ -5,8 +5,6 @@
 #include "common/check.hpp"
 #include "common/hash.hpp"
 #include "core/groups.hpp"
-#include "sim/sharded.hpp"
-#include "sim/simulator.hpp"
 
 namespace netclone::harness {
 
@@ -64,54 +62,33 @@ Experiment::Experiment(ClusterConfig config)
 
 Experiment::~Experiment() = default;
 
-sim::Scheduler& Experiment::scheduler() {
-  return sharded_ != nullptr ? sharded_->control()
-                             : static_cast<sim::Scheduler&>(*sim_);
-}
+sim::Scheduler& Experiment::scheduler() { return engine_->control(); }
 
 std::uint64_t Experiment::executed_events() const {
-  return sharded_ != nullptr ? sharded_->executed_events()
-                             : sim_->executed_events();
+  return engine_->executed_events();
 }
 
 std::uint64_t Experiment::absorbed_events() const {
-  return sharded_ != nullptr ? sharded_->absorbed_events()
-                             : sim_->absorbed_events();
+  return engine_->absorbed_events();
 }
 
-std::size_t Experiment::num_shards() const {
-  return sharded_ != nullptr ? sharded_->num_shards() : 0;
-}
+std::size_t Experiment::num_shards() const { return engine_->num_shards(); }
 
 std::vector<wire::FramePool::Stats> Experiment::frame_pool_stats() const {
-  std::vector<wire::FramePool::Stats> out;
-  if (sharded_ != nullptr) {
-    for (std::size_t i = 0; i < sharded_->num_shards(); ++i) {
-      out.push_back(sharded_->shard(i).pool().stats());
-    }
-  } else {
-    out.push_back(wire::FramePool::instance().stats());
-  }
-  return out;
+  return engine_->frame_pool_stats();
 }
 
 sim::Scheduler& Experiment::shard_scheduler(std::size_t shard) {
-  return sharded_ != nullptr
-             ? static_cast<sim::Scheduler&>(sharded_->shard(shard))
-             : static_cast<sim::Scheduler&>(*sim_);
+  return engine_->shard_scheduler(shard);
 }
 
 std::size_t Experiment::host_shard(std::size_t host_index) const {
-  if (sharded_ == nullptr) {
+  if (!engine_->sharded()) {
     return 0;
   }
-  const std::size_t n = sharded_->num_shards();
+  const std::size_t n = engine_->num_shards();
   if (!config_.shard_assignment.empty()) {
-    NETCLONE_CHECK(host_index < config_.shard_assignment.size(),
-                   "shard_assignment shorter than the host list");
-    const std::uint32_t s = config_.shard_assignment[host_index];
-    NETCLONE_CHECK(s < n, "shard_assignment entry out of range");
-    return s;
+    return config_.shard_assignment[host_index];
   }
   // The switch (shard 0) is every host's peer; spreading hosts over the
   // remaining shards keeps the hot switch queue on a core of its own.
@@ -123,45 +100,16 @@ phys::DuplexPorts Experiment::connect_nodes(phys::Node& a,
                                             phys::Node& b,
                                             std::size_t shard_b,
                                             phys::LinkParams params) {
-  if (sharded_ == nullptr) {
-    return topology_->connect(a, b, params);
-  }
-  // Link ids are topology build-order indices: identical for every shard
-  // count, which makes them a safe deep-tie fallback in the merge order.
-  const auto id_ab = static_cast<std::uint32_t>(topology_->links().size());
-  phys::DuplexPorts ports = topology_->connect(
-      sharded_->shard(shard_a), sharded_->shard(shard_b), a, b, params);
-  if (shard_a == shard_b) {
-    return ports;
-  }
-  sim::RemoteSink& ab = sharded_->attach_remote(
-      shard_a, shard_b, id_ab, params.delay,
-      [&b, port = ports.port_on_b](wire::FrameHandle frame) {
-        b.handle_frame(port, std::move(frame));
-      });
-  ports.a_to_b->set_remote_sink(&ab);
-  sim::RemoteSink& ba = sharded_->attach_remote(
-      shard_b, shard_a, id_ab + 1, params.delay,
-      [&a, port = ports.port_on_a](wire::FrameHandle frame) {
-        a.handle_frame(port, std::move(frame));
-      });
-  ports.b_to_a->set_remote_sink(&ba);
-  return ports;
+  return engine_->connect(*topology_, a, shard_a, b, shard_b, params);
 }
 
 void Experiment::build() {
-  std::size_t shards = config_.num_shards;
-  if (shards == 0) {
-    shards = sim::shards_from_env();
-  }
-  if (shards > 0) {
-    sharded_ =
-        std::make_unique<sim::ShardedSimulator>(shards, config_.seed);
-  } else {
-    sim_ = std::make_unique<sim::Simulator>();
-  }
-  topology_ = std::make_unique<phys::Topology>(shard_scheduler(0));
+  engine_ = std::make_unique<EngineContext>(config_.num_shards, config_.seed);
   const std::size_t num_servers = config_.server_workers.size();
+  validate_shard_assignment(config_.shard_assignment, engine_->num_shards(),
+                            num_servers + config_.num_clients,
+                            "cluster hosts");
+  topology_ = std::make_unique<phys::Topology>(shard_scheduler(0));
 
   // The switch always lives on shard 0, with the control plane and the
   // coordinator: every host link touches it, so its queue is the hub the
@@ -434,11 +382,7 @@ ExperimentResult Experiment::run() {
     client->start();
   }
   const SimTime end = config_.warmup + config_.measure + config_.drain;
-  if (sharded_ != nullptr) {
-    sharded_->run_until(end);
-  } else {
-    sim_->run_until(end);
-  }
+  engine_->run_until(end);
   return collect();
 }
 
@@ -458,11 +402,7 @@ std::vector<std::uint64_t> Experiment::run_timeline(
   std::vector<std::uint64_t> bins;
   std::uint64_t last_total = 0;
   for (SimTime t = bin; t <= total; t += bin) {
-    if (sharded_ != nullptr) {
-      sharded_->run_until(t);
-    } else {
-      sim_->run_until(t);
-    }
+    engine_->run_until(t);
     std::uint64_t now_total = 0;
     for (const host::Client* client : clients_) {
       now_total += client->stats().completed;

@@ -16,17 +16,13 @@
 #include "baselines/racksched_program.hpp"
 #include "common/types.hpp"
 #include "core/netclone_program.hpp"
+#include "harness/engine.hpp"
 #include "harness/faults.hpp"
 #include "host/client.hpp"
 #include "host/server.hpp"
 #include "phys/topology.hpp"
 #include "pisa/switch_device.hpp"
 #include "sim/scheduler.hpp"
-
-namespace netclone::sim {
-class Simulator;  // the concrete engine; only experiment.cpp runs it
-class ShardedSimulator;  // the parallel engine (NETCLONE_SHARDS)
-}  // namespace netclone::sim
 
 namespace netclone::harness {
 
@@ -207,11 +203,9 @@ class Experiment {
 
   ClusterConfig config_;
   Rng root_rng_;
-  // Exactly one engine is loaded. Both must outlive topology_ (links
-  // cancel events and nodes release pooled frames on destruction), so
-  // they are declared before it.
-  std::unique_ptr<sim::Simulator> sim_;
-  std::unique_ptr<sim::ShardedSimulator> sharded_;
+  // The engine must outlive topology_ (links cancel events and nodes
+  // release pooled frames on destruction), so it is declared before it.
+  std::unique_ptr<EngineContext> engine_;
   std::unique_ptr<phys::Topology> topology_;
   pisa::SwitchDevice* switch_ = nullptr;
   std::vector<host::Server*> servers_;

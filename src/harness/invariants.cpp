@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "harness/experiment.hpp"
+#include "harness/multirack.hpp"
 #include "wire/framebuf.hpp"
 
 namespace netclone::harness {
@@ -18,25 +19,13 @@ void check(InvariantReport& report, bool bad, const std::string& what) {
 
 std::string u64(std::uint64_t v) { return std::to_string(v); }
 
-}  // namespace
+// ---- shared audit sections (Experiment and MultiRackExperiment) ----------
 
-std::string InvariantReport::to_string() const {
-  std::ostringstream out;
-  for (std::size_t i = 0; i < violations.size(); ++i) {
-    if (i != 0) {
-      out << '\n';
-    }
-    out << violations[i];
-  }
-  return out.str();
-}
-
-InvariantReport audit_invariants(const Experiment& exp) {
-  InvariantReport report;
-
-  // -- client accounting: exactly-once completion ------------------------
-  for (std::size_t i = 0; i < exp.clients().size(); ++i) {
-    const host::Client& client = *exp.clients()[i];
+void audit_clients(InvariantReport& report,
+                   const std::vector<host::Client*>& clients) {
+  // Client accounting: exactly-once completion.
+  for (std::size_t i = 0; i < clients.size(); ++i) {
+    const host::Client& client = *clients[i];
     const host::ClientStats& cs = client.stats();
     const host::Client::Audit audit = client.audit();
     const std::string who = "client c" + std::to_string(i);
@@ -54,10 +43,12 @@ InvariantReport audit_invariants(const Experiment& exp) {
               " + incomplete " + u64(audit.incomplete_entries) +
               " (a request vanished without being accounted)");
   }
+}
 
-  // -- server structure --------------------------------------------------
-  for (std::size_t i = 0; i < exp.servers().size(); ++i) {
-    const host::Server& server = *exp.servers()[i];
+void audit_servers(InvariantReport& report,
+                   const std::vector<host::Server*>& servers) {
+  for (std::size_t i = 0; i < servers.size(); ++i) {
+    const host::Server& server = *servers[i];
     const std::string who = "server s" + std::to_string(i);
     if (server.crashed()) {
       check(report, server.queue_depth() != 0,
@@ -68,9 +59,12 @@ InvariantReport audit_invariants(const Experiment& exp) {
                 u64(server.busy_workers()));
     }
   }
+}
 
-  // -- link occupancy ----------------------------------------------------
-  for (const auto& [name, link] : exp.links()) {
+void audit_links(
+    InvariantReport& report,
+    const std::vector<std::pair<std::string, phys::Link*>>& links) {
+  for (const auto& [name, link] : links) {
     check(report, link->queued() > link->params().queue_capacity,
           "link " + name + ": drop-tail occupancy " + u64(link->queued()) +
               " exceeds capacity " + u64(link->params().queue_capacity));
@@ -81,14 +75,15 @@ InvariantReport audit_invariants(const Experiment& exp) {
           "link " + name + ": down but still has " +
               u64(link->in_flight()) + " frames in flight");
   }
+}
 
-  // -- switch conservation -----------------------------------------------
-  const pisa::SwitchStats& sw = exp.tor().stats();
+void audit_switch(InvariantReport& report, const std::string& who,
+                  const pisa::SwitchStats& sw) {
   const std::uint64_t accounted = sw.parse_errors + sw.dropped_by_program +
                                   sw.dropped_while_failed +
                                   sw.egress_scheduled;
   check(report, sw.rx_frames != accounted,
-        "switch: rx_frames " + u64(sw.rx_frames) +
+        who + ": rx_frames " + u64(sw.rx_frames) +
             " != parse_errors + dropped_by_program + "
             "dropped_while_failed + egress_scheduled = " +
             u64(accounted));
@@ -98,30 +93,28 @@ InvariantReport audit_invariants(const Experiment& exp) {
   check(report,
         sw.tx_frames + sw.recirculated + sw.flushed_in_pipeline >
             sw.egress_scheduled + sw.multicast_copies,
-        "switch: tx_frames " + u64(sw.tx_frames) + " + recirculated " +
+        who + ": tx_frames " + u64(sw.tx_frames) + " + recirculated " +
             u64(sw.recirculated) + " + flushed_in_pipeline " +
             u64(sw.flushed_in_pipeline) + " exceeds egress_scheduled " +
             u64(sw.egress_scheduled) + " + multicast_copies " +
             u64(sw.multicast_copies));
+}
 
-  // -- filter accounting -------------------------------------------------
-  if (exp.netclone_program() != nullptr) {
-    const core::NetCloneProgramStats& ps = exp.netclone_program()->stats();
-    check(report,
-          ps.filtered_responses >
-              ps.fingerprints_stored + ps.injected_stale_entries,
-          "program: filtered_responses " + u64(ps.filtered_responses) +
-              " exceeds fingerprints_stored " +
-              u64(ps.fingerprints_stored) + " + injected_stale_entries " +
-              u64(ps.injected_stale_entries));
-  }
+void audit_filter(InvariantReport& report, const std::string& who,
+                  std::uint64_t filtered, std::uint64_t stored,
+                  std::uint64_t injected) {
+  check(report, filtered > stored + injected,
+        who + ": filtered_responses " + u64(filtered) +
+            " exceeds fingerprints_stored " + u64(stored) +
+            " + injected_stale_entries " + u64(injected));
+}
 
-  // -- frame-pool balance ------------------------------------------------
+void audit_pools(InvariantReport& report,
+                 const std::vector<wire::FramePool::Stats>& pools) {
   // One balance sheet per shard pool (a single global one when
   // unsharded). Cross-shard handoffs are byte copies, so every buffer
   // releases into the pool that acquired it and each sheet must balance
   // on its own.
-  const std::vector<wire::FramePool::Stats> pools = exp.frame_pool_stats();
   for (std::size_t i = 0; i < pools.size(); ++i) {
     const wire::FramePool::Stats& pool = pools[i];
     const std::string who =
@@ -134,23 +127,24 @@ InvariantReport audit_invariants(const Experiment& exp) {
           who + ": live " + u64(pool.live) + " != acquired " +
               u64(pool.acquired) + " - released " + u64(pool.released));
   }
-
-  return report;
 }
 
-std::uint64_t chaos_digest(const Experiment& exp) {
+// ---- shared digest folds -------------------------------------------------
+
+struct Fold {
   std::uint64_t digest = 0xCBF29CE484222325ULL;
-  const auto fold = [&digest](std::uint64_t value) {
-    // FNV-1a, one byte at a time, over the value's 8 bytes.
+
+  // FNV-1a, one byte at a time, over the value's 8 bytes.
+  void operator()(std::uint64_t value) {
     for (int shift = 0; shift < 64; shift += 8) {
       digest ^= (value >> shift) & 0xFFU;
       digest *= 0x100000001B3ULL;
     }
-  };
+  }
+};
 
-  fold(exp.executed_events());
-
-  for (const host::Client* client : exp.clients()) {
+void fold_clients(Fold& fold, const std::vector<host::Client*>& clients) {
+  for (const host::Client* client : clients) {
     const host::ClientStats& cs = client->stats();
     fold(cs.requests_sent);
     fold(cs.packets_sent);
@@ -162,8 +156,10 @@ std::uint64_t chaos_digest(const Experiment& exp) {
     fold(cs.retransmissions);
     fold(cs.cancels_sent);
   }
+}
 
-  for (const host::Server* server : exp.servers()) {
+void fold_servers(Fold& fold, const std::vector<host::Server*>& servers) {
+  for (const host::Server* server : servers) {
     const host::ServerStats& ss = server->stats();
     fold(ss.rx_requests);
     fold(ss.completed);
@@ -177,8 +173,9 @@ std::uint64_t chaos_digest(const Experiment& exp) {
     fold(ss.paused_frames);
     fold(ss.abandoned_in_flight);
   }
+}
 
-  const pisa::SwitchStats& sw = exp.tor().stats();
+void fold_switch(Fold& fold, const pisa::SwitchStats& sw) {
   fold(sw.rx_frames);
   fold(sw.tx_frames);
   fold(sw.dropped_by_program);
@@ -189,8 +186,12 @@ std::uint64_t chaos_digest(const Experiment& exp) {
   fold(sw.egress_scheduled);
   fold(sw.flushed_in_pipeline);
   fold(sw.soft_state_wipes);
+}
 
-  for (const auto& [name, link] : exp.links()) {
+void fold_links(
+    Fold& fold,
+    const std::vector<std::pair<std::string, phys::Link*>>& links) {
+  for (const auto& [name, link] : links) {
     const phys::LinkStats& ls = link->stats();
     fold(ls.tx_frames);
     fold(ls.tx_bytes);
@@ -201,20 +202,189 @@ std::uint64_t chaos_digest(const Experiment& exp) {
     fold(ls.duplicated_frames);
     fold(ls.reordered_frames);
   }
+}
 
+void fold_netclone(Fold& fold, const core::NetCloneProgramStats& ps) {
+  fold(ps.requests);
+  fold(ps.cloned_requests);
+  fold(ps.recirculated_clones);
+  fold(ps.responses);
+  fold(ps.fingerprints_stored);
+  fold(ps.filtered_responses);
+  fold(ps.missing_route_drops);
+  fold(ps.injected_stale_entries);
+}
+
+void fold_agg_netclone(Fold& fold, const core::AggNetCloneStats& ps) {
+  fold(ps.requests);
+  fold(ps.cloned_requests);
+  fold(ps.recirculated_clones);
+  fold(ps.write_requests);
+  fold(ps.responses);
+  fold(ps.fingerprints_stored);
+  fold(ps.filter_hits);
+  fold(ps.filtered_responses);
+  fold(ps.chain_forwards);
+  fold(ps.foreign_packets);
+  fold(ps.missing_route_drops);
+}
+
+/// True when every link has delivered everything it accepted and no
+/// frame was lost, mangled, or reordered in transit — the precondition
+/// for the exact replica-convergence checks (a lossy or still-moving
+/// fabric legitimately leaves replicas mid-divergence).
+bool fabric_quiesced_clean(
+    const std::vector<std::pair<std::string, phys::Link*>>& links) {
+  for (const auto& [name, link] : links) {
+    if (link->in_flight() != 0) {
+      return false;
+    }
+    const phys::LinkStats& ls = link->stats();
+    if (ls.dropped_frames != 0 || ls.flushed_frames != 0 ||
+        ls.impaired_drops != 0 || ls.corrupted_frames != 0 ||
+        ls.duplicated_frames != 0 || ls.reordered_frames != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string InvariantReport::to_string() const {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < violations.size(); ++i) {
+    if (i != 0) {
+      out << '\n';
+    }
+    out << violations[i];
+  }
+  return out.str();
+}
+
+InvariantReport audit_invariants(const Experiment& exp) {
+  InvariantReport report;
+  audit_clients(report, exp.clients());
+  audit_servers(report, exp.servers());
+  audit_links(report, exp.links());
+  audit_switch(report, "switch", exp.tor().stats());
   if (exp.netclone_program() != nullptr) {
     const core::NetCloneProgramStats& ps = exp.netclone_program()->stats();
-    fold(ps.requests);
-    fold(ps.cloned_requests);
-    fold(ps.recirculated_clones);
-    fold(ps.responses);
-    fold(ps.fingerprints_stored);
-    fold(ps.filtered_responses);
-    fold(ps.missing_route_drops);
-    fold(ps.injected_stale_entries);
+    audit_filter(report, "program", ps.filtered_responses,
+                 ps.fingerprints_stored, ps.injected_stale_entries);
+  }
+  audit_pools(report, exp.frame_pool_stats());
+  return report;
+}
+
+InvariantReport audit_invariants(const MultiRackExperiment& exp) {
+  InvariantReport report;
+  audit_clients(report, exp.clients());
+  audit_servers(report, exp.servers());
+  audit_links(report, exp.links());
+  for (const auto& [name, device] : exp.switches()) {
+    audit_switch(report, "switch " + name, device->stats());
   }
 
-  return digest;
+  const bool replicated = exp.config().agg_mode == AggMode::kReplicated;
+  if (!replicated) {
+    const core::NetCloneProgramStats& ps = exp.client_tor_program().stats();
+    audit_filter(report, "client tor", ps.filtered_responses,
+                 ps.fingerprints_stored, ps.injected_stale_entries);
+  } else {
+    for (std::size_t a = 0; a < exp.num_aggs(); ++a) {
+      const core::AggNetCloneStats& ps =
+          exp.agg_netclone_program(a).stats();
+      // Every replica computes verdicts; only the tail enacts them, so
+      // the replica-local bound is on hits, the tail bound on drops.
+      audit_filter(report, "agg" + std::to_string(a), ps.filter_hits,
+                   ps.fingerprints_stored, 0);
+      check(report, ps.filtered_responses > ps.filter_hits,
+            "agg" + std::to_string(a) + ": filtered_responses " +
+                u64(ps.filtered_responses) + " exceeds filter_hits " +
+                u64(ps.filter_hits));
+    }
+  }
+
+  // Replica convergence: once the fabric is quiet and lossless, the
+  // chain must have driven every replica to the same soft-state image
+  // (NetChain's state-machine-replication contract) after applying the
+  // same number of responses.
+  if (replicated && exp.num_aggs() > 1 &&
+      fabric_quiesced_clean(exp.links())) {
+    bool switches_clean = true;
+    for (const auto& [name, device] : exp.switches()) {
+      const pisa::SwitchStats& sw = device->stats();
+      if (sw.soft_state_wipes != 0 || sw.dropped_while_failed != 0 ||
+          sw.flushed_in_pipeline != 0) {
+        switches_clean = false;
+      }
+    }
+    if (switches_clean) {
+      const core::AggNetCloneStats& head =
+          exp.agg_netclone_program(0).stats();
+      const std::uint64_t head_digest =
+          exp.agg_netclone_program(0).soft_state_digest();
+      for (std::size_t a = 1; a < exp.num_aggs(); ++a) {
+        const core::AggNetCloneStats& ps =
+            exp.agg_netclone_program(a).stats();
+        check(report, ps.responses != head.responses,
+              "replica agg" + std::to_string(a) + ": applied " +
+                  u64(ps.responses) + " responses but the head applied " +
+                  u64(head.responses) +
+                  " (a response skipped part of the chain)");
+        check(report,
+              exp.agg_netclone_program(a).soft_state_digest() !=
+                  head_digest,
+              "replica agg" + std::to_string(a) +
+                  ": soft-state digest diverges from the head after a "
+                  "clean quiesce (chain replication broke)");
+      }
+    }
+  }
+
+  audit_pools(report, exp.frame_pool_stats());
+  return report;
+}
+
+std::uint64_t chaos_digest(const Experiment& exp) {
+  Fold fold;
+  fold(exp.executed_events());
+  fold_clients(fold, exp.clients());
+  fold_servers(fold, exp.servers());
+  fold_switch(fold, exp.tor().stats());
+  fold_links(fold, exp.links());
+  if (exp.netclone_program() != nullptr) {
+    fold_netclone(fold, exp.netclone_program()->stats());
+  }
+  return fold.digest;
+}
+
+std::uint64_t chaos_digest(const MultiRackExperiment& exp) {
+  Fold fold;
+  fold(exp.executed_events());
+  fold_clients(fold, exp.clients());
+  fold_servers(fold, exp.servers());
+  for (const auto& [name, device] : exp.switches()) {
+    fold_switch(fold, device->stats());
+  }
+  fold_links(fold, exp.links());
+  if (exp.config().agg_mode == AggMode::kReplicated) {
+    for (std::size_t a = 0; a < exp.num_aggs(); ++a) {
+      fold_agg_netclone(fold, exp.agg_netclone_program(a).stats());
+    }
+  } else {
+    fold_netclone(fold, exp.client_tor_program().stats());
+    for (std::size_t a = 0; a < exp.num_aggs(); ++a) {
+      const baselines::AggRouterStats& rs = exp.agg_program(a).stats();
+      fold(rs.routed);
+      fold(rs.no_route_drops);
+    }
+  }
+  for (std::size_t rack = 0; rack < exp.config().server_racks; ++rack) {
+    fold_netclone(fold, exp.server_tor_program(rack).stats());
+  }
+  return fold.digest;
 }
 
 }  // namespace netclone::harness

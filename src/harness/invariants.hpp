@@ -9,16 +9,21 @@
 //   * server structure: a crashed server holds no queue or busy workers;
 //   * link occupancy: drop-tail slots never exceed capacity, and a down
 //     link holds no in-flight frames;
-//   * switch conservation: every received frame lands in exactly one of
-//     {parse error, program drop, dropped-while-failed, scheduled
-//     egress}, and emissions never exceed scheduled egresses plus
-//     multicast copies;
+//   * switch conservation (per switch): every received frame lands in
+//     exactly one of {parse error, program drop, dropped-while-failed,
+//     scheduled egress}, and emissions never exceed scheduled egresses
+//     plus multicast copies;
 //   * filter accounting: responses filtered never exceed fingerprints
 //     stored plus injected stale entries;
 //   * frame-pool balance: acquire/release/live counters stay consistent
 //     (the zero-leak check across an Experiment's lifetime lives in the
 //     tests, which compare pool `live` before construction and after
-//     destruction).
+//     destruction);
+//   * replica convergence (replicated multi-rack aggregation): once the
+//     fabric has quiesced cleanly, every chain replica must hold the
+//     identical StateT/ShadowT/FilterT image and have applied the same
+//     response stream — the NetChain-style state-machine-replication
+//     contract.
 //
 // chaos_digest() folds the scheduler event count and every stats counter
 // into one value: two same-seed runs must produce identical digests —
@@ -32,6 +37,7 @@
 namespace netclone::harness {
 
 class Experiment;
+class MultiRackExperiment;
 
 struct InvariantReport {
   std::vector<std::string> violations;
@@ -43,9 +49,11 @@ struct InvariantReport {
 
 /// Runs every invariant check against a finished (or quiesced) run.
 [[nodiscard]] InvariantReport audit_invariants(const Experiment& exp);
+[[nodiscard]] InvariantReport audit_invariants(const MultiRackExperiment& exp);
 
 /// Deterministic fingerprint of a run: FNV-1a over the executed event
 /// count and all client/server/switch/link/program counters.
 [[nodiscard]] std::uint64_t chaos_digest(const Experiment& exp);
+[[nodiscard]] std::uint64_t chaos_digest(const MultiRackExperiment& exp);
 
 }  // namespace netclone::harness

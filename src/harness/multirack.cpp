@@ -1,10 +1,26 @@
 #include "harness/multirack.hpp"
 
+#include <algorithm>
+
 #include "common/check.hpp"
 #include "core/groups.hpp"
-#include "sim/simulator.hpp"
 
 namespace netclone::harness {
+
+namespace {
+
+/// Shared identity of the replicated aggregation tier: every replica
+/// stamps the same SWITCH_ID so rack ToRs treat tier traffic as foreign,
+/// and chain peers recognize relayed responses as their own to process.
+constexpr std::uint8_t kAggTierSwitchId = 200;
+
+std::string indexed_name(const char* prefix, std::size_t index) {
+  std::string name(prefix);
+  name += std::to_string(index);
+  return name;
+}
+
+}  // namespace
 
 MultiRackExperiment::MultiRackExperiment(MultiRackConfig config)
     : config_(std::move(config)), root_rng_(config_.seed) {
@@ -13,82 +29,297 @@ MultiRackExperiment::MultiRackExperiment(MultiRackConfig config)
   NETCLONE_CHECK(config_.server_racks >= 1, "need at least one server rack");
   NETCLONE_CHECK(config_.server_racks * config_.servers_per_rack >= 2,
                  "NetClone needs at least two servers");
+  NETCLONE_CHECK(config_.num_aggs >= 1, "need at least one agg switch");
+  NETCLONE_CHECK(config_.num_clients >= 1, "need at least one client");
   build();
 }
 
 MultiRackExperiment::~MultiRackExperiment() = default;
 
-sim::Scheduler& MultiRackExperiment::scheduler() { return *sim_; }
+sim::Scheduler& MultiRackExperiment::scheduler() {
+  return engine_->control();
+}
+
+std::uint64_t MultiRackExperiment::executed_events() const {
+  return engine_->executed_events();
+}
+
+std::uint64_t MultiRackExperiment::absorbed_events() const {
+  return engine_->absorbed_events();
+}
+
+std::size_t MultiRackExperiment::num_shards() const {
+  return engine_->num_shards();
+}
+
+std::vector<wire::FramePool::Stats> MultiRackExperiment::frame_pool_stats()
+    const {
+  return engine_->frame_pool_stats();
+}
+
+const core::NetCloneProgram& MultiRackExperiment::client_tor_program() const {
+  NETCLONE_CHECK(client_tor_program_ != nullptr,
+                 "the client ToR runs NetClone in kOblivious mode only");
+  return *client_tor_program_;
+}
+
+const baselines::AggRouterProgram& MultiRackExperiment::agg_program(
+    std::size_t agg) const {
+  NETCLONE_CHECK(agg < agg_router_programs_.size(),
+                 "agg routers exist in kOblivious mode only");
+  return *agg_router_programs_[agg];
+}
+
+const core::AggNetCloneProgram& MultiRackExperiment::agg_netclone_program(
+    std::size_t agg) const {
+  NETCLONE_CHECK(agg < agg_netclone_programs_.size(),
+                 "chain replicas exist in kReplicated mode only");
+  return *agg_netclone_programs_[agg];
+}
+
+phys::Link* MultiRackExperiment::link(const std::string& name) const {
+  for (const auto& [key, link] : links_) {
+    if (key == name) {
+      return link;
+    }
+  }
+  return nullptr;
+}
+
+std::size_t MultiRackExperiment::rack_shard(std::size_t rack) const {
+  if (!engine_->sharded()) {
+    return 0;
+  }
+  if (!config_.rack_shards.empty()) {
+    return config_.rack_shards[rack];
+  }
+  return rack % engine_->num_shards();
+}
+
+phys::DuplexPorts MultiRackExperiment::connect_nodes(phys::Node& a,
+                                                     std::size_t shard_a,
+                                                     phys::Node& b,
+                                                     std::size_t shard_b,
+                                                     phys::LinkParams params) {
+  // Deterministic per-link delay skew (cable-length variation). The pod
+  // is otherwise perfectly symmetric: equivalent racks replay identical
+  // event-time chains and deliver frames to the aggregation tier at the
+  // same instant with indistinguishable scheduling provenance, which the
+  // sharded engine's bounded-depth merge cannot always order the way the
+  // single-queue engine's global sequence does. A few ns of build-order
+  // skew breaks the symmetry identically for every engine and shard
+  // count (link build order does not depend on sharding).
+  const std::size_t duplex_index = topology_->links().size() / 2;
+  params.delay +=
+      SimTime::nanoseconds(static_cast<std::int64_t>((7 * duplex_index) % 97));
+  return engine_->connect(*topology_, a, shard_a, b, shard_b, params);
+}
+
+void MultiRackExperiment::record_link(const std::string& a,
+                                     const std::string& b,
+                                     const phys::DuplexPorts& ports) {
+  links_.emplace_back(a + "-" + b, ports.a_to_b);
+  links_.emplace_back(b + "-" + a, ports.b_to_a);
+}
 
 void MultiRackExperiment::build() {
-  sim_ = std::make_unique<sim::Simulator>();
-  topology_ = std::make_unique<phys::Topology>(*sim_);
+  const std::size_t num_servers =
+      config_.server_racks * config_.servers_per_rack;
+  NETCLONE_CHECK(num_servers < 150, "server count exceeds the address plan");
+  NETCLONE_CHECK(num_servers * (num_servers - 1) <= 65535,
+                 "group id space exceeded: too many servers");
 
-  // Aggregation layer: plain LPM, not NetClone-aware.
-  agg_ = &topology_->add_node<pisa::SwitchDevice>(*sim_, "agg");
-  agg_program_ = std::make_shared<baselines::AggRouterProgram>(
-      agg_->pipeline(), /*num_ports=*/1 + config_.server_racks + 4);
-  agg_->load_program(agg_program_);
+  engine_ = std::make_unique<EngineContext>(config_.num_shards, config_.seed);
+  validate_shard_assignment(config_.rack_shards, engine_->num_shards(),
+                            config_.server_racks + 1, "racks");
+  topology_ = std::make_unique<phys::Topology>(engine_->shard_scheduler(0));
 
-  // Client-side ToR: the one that runs the NetClone logic.
-  client_tor_ = &topology_->add_node<pisa::SwitchDevice>(*sim_, "tor-1");
-  const std::size_t recirc = client_tor_->add_internal_port();
-  client_tor_->set_loopback_port(recirc);
-  core::NetCloneConfig client_cfg = config_.netclone;
-  client_cfg.switch_id = 1;
-  client_tor_program_ = std::make_shared<core::NetCloneProgram>(
-      client_tor_->pipeline(), client_cfg);
-  client_tor_->load_program(client_tor_program_);
-  const auto client_trunk = topology_->connect(*client_tor_, *agg_);
-  // Client subnet lives behind ToR#1.
-  agg_program_->add_prefix(wire::Ipv4Address::from_octets(10, 0, 0, 0), 24,
-                           client_trunk.port_on_b);
+  // Tables must hold the whole pod regardless of the caller's defaults.
+  core::NetCloneConfig nc = config_.netclone;
+  nc.max_servers = std::max(nc.max_servers, num_servers);
+  nc.max_groups = std::max(nc.max_groups, num_servers * (num_servers - 1));
 
-  // Server racks.
+  const bool replicated = config_.agg_mode == AggMode::kReplicated;
+
+  // -- aggregation tier (always shard 0: every trunk touches it) ---------
+  std::vector<std::size_t> agg_recircs;
+  for (std::size_t a = 0; a < config_.num_aggs; ++a) {
+    auto& agg = topology_->add_node<pisa::SwitchDevice>(
+        engine_->shard_scheduler(0), indexed_name("agg", a));
+    if (replicated) {
+      // The chain replicas clone, so they need the loopback port the
+      // multicast groups reference.
+      const std::size_t recirc = agg.add_internal_port();
+      agg.set_loopback_port(recirc);
+      agg_recircs.push_back(recirc);
+    }
+    aggs_.push_back(&agg);
+    switches_.emplace_back(indexed_name("agg", a), &agg);
+  }
+
+  // -- client ToR ---------------------------------------------------------
+  const std::size_t client_rack_shard = rack_shard(0);
+  client_tor_ = &topology_->add_node<pisa::SwitchDevice>(
+      engine_->shard_scheduler(client_rack_shard), "tor1");
+  switches_.emplace_back("tor1", client_tor_);
+  std::size_t client_recirc = 0;
+  if (!replicated) {
+    client_recirc = client_tor_->add_internal_port();
+    client_tor_->set_loopback_port(client_recirc);
+    core::NetCloneConfig client_cfg = nc;
+    client_cfg.switch_id = 1;
+    client_tor_program_ = std::make_shared<core::NetCloneProgram>(
+        client_tor_->pipeline(), client_cfg);
+    client_tor_->load_program(client_tor_program_);
+  } else {
+    client_router_program_ = std::make_shared<baselines::AggRouterProgram>(
+        client_tor_->pipeline(),
+        /*num_ports=*/config_.num_aggs + config_.num_clients,
+        /*route_capacity=*/1 + config_.num_clients + num_servers);
+    client_tor_->load_program(client_router_program_);
+  }
+
+  // Client ToR uplinks, one per agg.
+  std::vector<phys::DuplexPorts> client_trunks;
+  for (std::size_t a = 0; a < config_.num_aggs; ++a) {
+    const phys::DuplexPorts trunk =
+        connect_nodes(*client_tor_, client_rack_shard, *aggs_[a], 0,
+                      config_.trunk_link);
+    record_link("tor1", indexed_name("agg", a), trunk);
+    client_trunks.push_back(trunk);
+  }
+  if (replicated) {
+    // Requests to the service VIP spray over the chain replicas.
+    std::vector<std::size_t> uplinks;
+    for (const phys::DuplexPorts& trunk : client_trunks) {
+      uplinks.push_back(trunk.port_on_a);
+    }
+    client_router_program_->add_ecmp_prefix(host::service_vip(), 32,
+                                            uplinks);
+  }
+
+  // Chain links between consecutive replicas (dedicated FIFO hops the
+  // head->tail response stream rides on).
+  std::vector<std::optional<std::size_t>> chain_next(config_.num_aggs);
+  if (replicated) {
+    for (std::size_t a = 0; a + 1 < config_.num_aggs; ++a) {
+      const phys::DuplexPorts hop =
+          connect_nodes(*aggs_[a], 0, *aggs_[a + 1], 0, config_.trunk_link);
+      record_link(indexed_name("agg", a), indexed_name("agg", a + 1), hop);
+      chain_next[a] = hop.port_on_a;
+    }
+  }
+
+  // Load the agg programs now that their chain ports are known; routes
+  // and mcast groups follow as endpoints are wired below.
+  if (replicated) {
+    core::NetCloneConfig tier_cfg = nc;
+    tier_cfg.switch_id = kAggTierSwitchId;
+    for (std::size_t a = 0; a < config_.num_aggs; ++a) {
+      core::AggChainRole role;
+      role.replica_index = a;
+      role.chain_length = config_.num_aggs;
+      role.chain_next_port = chain_next[a];
+      auto program = std::make_shared<core::AggNetCloneProgram>(
+          aggs_[a]->pipeline(), tier_cfg, role);
+      aggs_[a]->load_program(program);
+      agg_netclone_programs_.push_back(std::move(program));
+    }
+  } else {
+    for (std::size_t a = 0; a < config_.num_aggs; ++a) {
+      auto program = std::make_shared<baselines::AggRouterProgram>(
+          aggs_[a]->pipeline(), /*num_ports=*/1 + config_.server_racks,
+          /*route_capacity=*/num_servers + 1);
+      aggs_[a]->load_program(program);
+      // Client subnet lives behind ToR#1.
+      program->add_prefix(wire::Ipv4Address::from_octets(10, 0, 0, 0), 24,
+                          client_trunks[a].port_on_b);
+      agg_router_programs_.push_back(std::move(program));
+    }
+  }
+
+  // -- server racks -------------------------------------------------------
+  // rack_trunks[rack][agg] — each rack ToR uplinks to every agg.
+  std::vector<std::vector<phys::DuplexPorts>> rack_trunks;
   std::uint8_t sid = 0;
   for (std::size_t rack = 0; rack < config_.server_racks; ++rack) {
+    const std::size_t shard = rack_shard(rack + 1);
+    const std::string tor_name = indexed_name("tor", rack + 2);
     auto& tor = topology_->add_node<pisa::SwitchDevice>(
-        *sim_, "tor-" + std::to_string(rack + 2));
+        engine_->shard_scheduler(shard), tor_name);
     const std::size_t tor_recirc = tor.add_internal_port();
     tor.set_loopback_port(tor_recirc);
-    core::NetCloneConfig rack_cfg = config_.netclone;
+    core::NetCloneConfig rack_cfg = nc;
     rack_cfg.switch_id = static_cast<std::uint8_t>(rack + 2);
-    auto program = std::make_shared<core::NetCloneProgram>(tor.pipeline(),
-                                                           rack_cfg);
+    auto program =
+        std::make_shared<core::NetCloneProgram>(tor.pipeline(), rack_cfg);
     tor.load_program(program);
-    const auto trunk = topology_->connect(tor, *agg_);
     server_tors_.push_back(&tor);
     server_tor_programs_.push_back(program);
-    trunk_ports_.push_back(trunk.port_on_a);
+    switches_.emplace_back(tor_name, &tor);
+
+    std::vector<phys::DuplexPorts> trunks;
+    for (std::size_t a = 0; a < config_.num_aggs; ++a) {
+      const phys::DuplexPorts trunk =
+          connect_nodes(tor, shard, *aggs_[a], 0, config_.trunk_link);
+      record_link(tor_name, indexed_name("agg", a), trunk);
+      trunks.push_back(trunk);
+    }
+    rack_trunks.push_back(trunks);
 
     for (std::size_t i = 0; i < config_.servers_per_rack; ++i, ++sid) {
       host::ServerParams sp = config_.server_template;
       sp.sid = ServerId{sid};
       sp.workers = config_.workers;
       auto& server = topology_->add_node<host::Server>(
-          *sim_, sp, config_.service, root_rng_.fork());
-      const auto ports = topology_->connect(server, tor);
+          engine_->shard_scheduler(shard), sp, config_.service,
+          root_rng_.fork());
+      const phys::DuplexPorts ports =
+          connect_nodes(server, shard, tor, shard, config_.host_link);
+      record_link(indexed_name("s", sid), tor_name, ports);
       servers_.push_back(&server);
       const wire::Ipv4Address ip = host::server_ip(ServerId{sid});
-
-      // Client ToR: clone toward the trunk; AddrT knows the global sid.
-      const auto mcast = static_cast<std::uint16_t>(sid + 1);
-      client_tor_->configure_multicast_group(
-          mcast, {client_trunk.port_on_a, recirc});
-      client_tor_program_->add_server(ServerId{sid}, ip,
-                                      client_trunk.port_on_a, mcast);
-      // Rack ToR routes the server's address locally; agg routes the
-      // host address toward this rack.
+      // Rack ToR routes the server's address locally (foreign-stamped
+      // packets take exactly this FwdT path).
       program->add_route(ip, ports.port_on_b);
-      agg_program_->add_prefix(ip, 32, trunk.port_on_b);
+
+      const auto mcast = static_cast<std::uint16_t>(sid + 1);
+      if (replicated) {
+        for (std::size_t a = 0; a < config_.num_aggs; ++a) {
+          // Clone at the agg: multicast {trunk toward the rack, loopback}.
+          aggs_[a]->configure_multicast_group(
+              mcast, {trunks[a].port_on_b, agg_recircs[a]});
+          agg_netclone_programs_[a]->add_server(ServerId{sid}, ip,
+                                                trunks[a].port_on_b, mcast);
+        }
+        // Direct sends (cancels) ride plain routes through one agg.
+        client_router_program_->add_prefix(
+            ip, 32, client_trunks[sid % config_.num_aggs].port_on_a);
+      } else {
+        // Clone at the client ToR, toward the trunk serving this sid.
+        const std::size_t via = sid % config_.num_aggs;
+        client_tor_->configure_multicast_group(
+            mcast, {client_trunks[via].port_on_a, client_recirc});
+        client_tor_program_->add_server(ServerId{sid}, ip,
+                                        client_trunks[via].port_on_a, mcast);
+        for (std::size_t a = 0; a < config_.num_aggs; ++a) {
+          agg_router_programs_[a]->add_prefix(ip, 32,
+                                              trunks[a].port_on_b);
+        }
+      }
     }
   }
 
-  const std::size_t num_servers = config_.server_racks *
-                                  config_.servers_per_rack;
   const auto groups = core::build_group_pairs(num_servers);
-  client_tor_program_->install_groups(groups);
+  if (replicated) {
+    for (auto& program : agg_netclone_programs_) {
+      program->install_groups(groups);
+    }
+  } else {
+    client_tor_program_->install_groups(groups);
+  }
 
+  // -- clients ------------------------------------------------------------
   const SimTime stop_at = config_.warmup + config_.measure;
   for (std::size_t c = 0; c < config_.num_clients; ++c) {
     host::ClientParams cp = config_.client_template;
@@ -103,16 +334,36 @@ void MultiRackExperiment::build() {
     cp.warmup_until = config_.warmup;
     cp.stop_at = stop_at;
     auto& client = topology_->add_node<host::Client>(
-        *sim_, cp, config_.factory, root_rng_.fork());
-    const auto ports = topology_->connect(client, *client_tor_);
+        engine_->shard_scheduler(client_rack_shard), cp, config_.factory,
+        root_rng_.fork());
+    const phys::DuplexPorts ports =
+        connect_nodes(client, client_rack_shard, *client_tor_,
+                      client_rack_shard, config_.host_link);
+    record_link(indexed_name("c", c), "tor1", ports);
     const wire::Ipv4Address ip = host::client_ip(cp.client_id);
-    client_tor_program_->add_route(ip, ports.port_on_b);
-    // Rack ToRs route responses toward the client through their trunk
-    // (their FwdT is exact-match, so one host route per client).
-    for (std::size_t rack = 0; rack < server_tor_programs_.size(); ++rack) {
-      server_tor_programs_[rack]->add_route(ip, trunk_ports_[rack]);
-    }
     clients_.push_back(&client);
+
+    if (replicated) {
+      client_router_program_->add_prefix(ip, 32, ports.port_on_b);
+      for (std::size_t a = 0; a < config_.num_aggs; ++a) {
+        // The tail forwards responses to the client through its own
+        // downlink; upstream replicas never use the route but keep it so
+        // foreign/cancel traffic cannot strand.
+        agg_netclone_programs_[a]->add_route(ip,
+                                             client_trunks[a].port_on_b);
+      }
+      // Responses converge on the chain HEAD.
+      for (std::size_t rack = 0; rack < config_.server_racks; ++rack) {
+        server_tor_programs_[rack]->add_route(
+            ip, rack_trunks[rack][0].port_on_a);
+      }
+    } else {
+      client_tor_program_->add_route(ip, ports.port_on_b);
+      for (std::size_t rack = 0; rack < config_.server_racks; ++rack) {
+        server_tor_programs_[rack]->add_route(
+            ip, rack_trunks[rack][c % config_.num_aggs].port_on_a);
+      }
+    }
   }
 }
 
@@ -120,7 +371,7 @@ ExperimentResult MultiRackExperiment::run() {
   for (host::Client* client : clients_) {
     client->start();
   }
-  sim_->run_until(config_.warmup + config_.measure + config_.drain);
+  engine_->run_until(config_.warmup + config_.measure + config_.drain);
 
   ExperimentResult result;
   result.scheme = Scheme::kNetClone;
@@ -142,9 +393,19 @@ ExperimentResult MultiRackExperiment::run() {
   for (const host::Server* server : servers_) {
     result.dropped_stale_clones += server->stats().dropped_stale_clones;
   }
-  result.cloned_requests = client_tor_program_->stats().cloned_requests;
-  result.filtered_responses =
-      client_tor_program_->stats().filtered_responses;
+  if (config_.agg_mode == AggMode::kReplicated) {
+    // Each clone is decided at exactly one replica; the verdicts are
+    // enacted only at the tail.
+    for (const auto& program : agg_netclone_programs_) {
+      result.cloned_requests += program->stats().cloned_requests;
+    }
+    result.filtered_responses =
+        agg_netclone_programs_.back()->stats().filtered_responses;
+  } else {
+    result.cloned_requests = client_tor_program_->stats().cloned_requests;
+    result.filtered_responses =
+        client_tor_program_->stats().filtered_responses;
+  }
   result.switch_stats = client_tor_->stats();
   return result;
 }

@@ -1,30 +1,58 @@
-// Multi-rack deployment harness (§3.7 "Multi-rack deployment").
+// Multi-rack fat-tree harness (§3.7 "Multi-rack deployment", extended).
 //
-// Topology: one client rack and N server racks, each behind its own
-// NetClone ToR, joined by a NetClone-oblivious LPM aggregation router:
+// Topology: a 2-tier fat tree — one client rack and N server racks, each
+// behind its own ToR, joined by a tier of parallel aggregation switches
+// every ToR uplinks to:
 //
-//   clients — ToR#1 —— agg —— ToR#2 — servers rack 0
-//                        |
-//                        +——— ToR#3 — servers rack 1 ...
+//   clients — ToR#1 ══ agg0 ┄ agg1 ┄ ... ══ ToR#2 — servers rack 0
+//                      ║        ║     ══ ToR#3 — servers rack 1 ...
 //
-// Only the client-side ToR (#1) performs cloning/filtering; it stamps
-// SWITCH_ID so the server-side ToRs recognize the packets as foreign and
-// merely route them. Candidate pairs may span racks — the clone's
-// recirculated copy simply leaves through the same trunk.
+// Two aggregation modes:
+//
+//   * kOblivious — the paper's §3.7 layout generalized to many aggs:
+//     cloning/filtering run at the client-side ToR; the aggregation tier
+//     is plain LPM routing and passes NetClone packets through untouched.
+//   * kReplicated — the aggregation tier itself is NetClone-aware and the
+//     per-agg soft state (StateT/ShadowT/FilterT) is chain-replicated
+//     NetChain-style across the replicas (see agg_netclone_program.hpp):
+//     requests ECMP-spray over the aggs, responses flow head→tail over
+//     dedicated chain links, only the tail enacts filter verdicts. The
+//     client-side ToR degenerates to a plain router.
+//
+// Oversubscription is expressed through the link parameters: `host_link`
+// for edge links, `trunk_link` for ToR↔agg uplinks and the chain.
+//
+// Sharded execution: each rack (ToR + its hosts) is one event-queue
+// shard by default; the aggregation tier lives on shard 0. Digests are
+// bit-identical for every shard count — the same contract Experiment
+// honors, via the same EngineContext.
 #pragma once
 
 #include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "baselines/agg_router.hpp"
+#include "core/agg_netclone_program.hpp"
 #include "core/netclone_program.hpp"
+#include "harness/engine.hpp"
 #include "harness/experiment.hpp"
 
 namespace netclone::harness {
 
+/// How the aggregation tier treats NetClone traffic.
+enum class AggMode {
+  kOblivious,   // plain LPM aggs, cloning at the client ToR (§3.7)
+  kReplicated,  // NetClone-aware aggs with chain-replicated soft state
+};
+
 struct MultiRackConfig {
   std::size_t server_racks = 2;
   std::size_t servers_per_rack = 3;
+  /// Parallel aggregation switches (the fat-tree spine of this pod).
+  std::size_t num_aggs = 1;
+  AggMode agg_mode = AggMode::kOblivious;
   std::uint32_t workers = 16;
   std::size_t num_clients = 2;
   double offered_rps = 1e6;
@@ -37,8 +65,24 @@ struct MultiRackConfig {
   core::NetCloneConfig netclone{};
   host::ClientParams client_template{};
   host::ServerParams server_template{};
+  /// Edge links (host ↔ ToR).
+  phys::LinkParams host_link{};
+  /// ToR ↔ agg uplinks and the agg↔agg chain links. Oversubscription is
+  /// modeled by giving these a lower rate than `host_link`. The default
+  /// delay is longer than the edge default — cross-tier cables are —
+  /// which also keeps same-instant arrival coincidences between tiers
+  /// rare.
+  phys::LinkParams trunk_link{100e9, SimTime::nanoseconds(1700), 1024};
+  /// Event-queue shards, resolved exactly like ClusterConfig::num_shards
+  /// (0 = NETCLONE_SHARDS, unset -> legacy engine).
+  std::size_t num_shards = 0;
+  /// Optional shard per rack: entry 0 is the client rack, entries 1..N
+  /// the server racks (a rack's ToR and hosts share its shard; the
+  /// aggregation tier is always shard 0). Empty = rack r -> r % shards.
+  std::vector<std::uint32_t> rack_shards;
 };
 
+/// One built-and-runnable fat-tree pod; see Experiment for the lifecycle.
 class MultiRackExperiment {
  public:
   explicit MultiRackExperiment(MultiRackConfig config);
@@ -49,38 +93,82 @@ class MultiRackExperiment {
 
   [[nodiscard]] ExperimentResult run();
 
-  [[nodiscard]] const core::NetCloneProgram& client_tor_program() const {
-    return *client_tor_program_;
-  }
+  // -- programs -----------------------------------------------------------
+
+  /// The NetClone program at the client ToR (kOblivious mode only).
+  [[nodiscard]] const core::NetCloneProgram& client_tor_program() const;
   [[nodiscard]] const core::NetCloneProgram& server_tor_program(
       std::size_t rack) const {
     return *server_tor_programs_.at(rack);
   }
-  [[nodiscard]] const baselines::AggRouterProgram& agg_program() const {
-    return *agg_program_;
-  }
+  /// Aggregation router `agg` (kOblivious mode only).
+  [[nodiscard]] const baselines::AggRouterProgram& agg_program(
+      std::size_t agg = 0) const;
+  /// Chain replica `agg` (kReplicated mode only).
+  [[nodiscard]] const core::AggNetCloneProgram& agg_netclone_program(
+      std::size_t agg = 0) const;
+
+  // -- structure ----------------------------------------------------------
+
+  [[nodiscard]] const MultiRackConfig& config() const { return config_; }
+  [[nodiscard]] std::size_t num_aggs() const { return config_.num_aggs; }
   [[nodiscard]] const std::vector<host::Server*>& servers() const {
     return servers_;
   }
   [[nodiscard]] const std::vector<host::Client*>& clients() const {
     return clients_;
   }
+  /// All directed links with their harness names, for the auditor.
+  [[nodiscard]] const std::vector<std::pair<std::string, phys::Link*>>&
+  links() const {
+    return links_;
+  }
+  [[nodiscard]] phys::Link* link(const std::string& name) const;
+  /// Every switch in build order (aggs, client ToR, rack ToRs), named.
+  [[nodiscard]] const std::vector<std::pair<std::string, pisa::SwitchDevice*>>&
+  switches() const {
+    return switches_;
+  }
+
+  // -- engine telemetry (same surface as Experiment) ----------------------
+
   [[nodiscard]] sim::Scheduler& scheduler();
+  [[nodiscard]] std::uint64_t executed_events() const;
+  [[nodiscard]] std::uint64_t absorbed_events() const;
+  [[nodiscard]] std::size_t num_shards() const;
+  [[nodiscard]] std::vector<wire::FramePool::Stats> frame_pool_stats() const;
 
  private:
   void build();
+  /// Shard of rack `rack` (0 = client rack, 1..N = server racks).
+  [[nodiscard]] std::size_t rack_shard(std::size_t rack) const;
+  phys::DuplexPorts connect_nodes(phys::Node& a, std::size_t shard_a,
+                                  phys::Node& b, std::size_t shard_b,
+                                  phys::LinkParams params);
+  void record_link(const std::string& a, const std::string& b,
+                   const phys::DuplexPorts& ports);
 
   MultiRackConfig config_;
   Rng root_rng_;
-  std::unique_ptr<sim::Simulator> sim_;
+  // The engine must outlive topology_ (links cancel events and nodes
+  // release pooled frames on destruction), so it is declared before it.
+  std::unique_ptr<EngineContext> engine_;
   std::unique_ptr<phys::Topology> topology_;
   pisa::SwitchDevice* client_tor_ = nullptr;
-  pisa::SwitchDevice* agg_ = nullptr;
+  std::vector<pisa::SwitchDevice*> aggs_;
   std::vector<pisa::SwitchDevice*> server_tors_;
-  std::vector<std::size_t> trunk_ports_;  // rack ToR port toward the agg
+  std::vector<std::pair<std::string, pisa::SwitchDevice*>> switches_;
+  std::vector<std::pair<std::string, phys::Link*>> links_;
+  // kOblivious mode:
   std::shared_ptr<core::NetCloneProgram> client_tor_program_;
+  std::vector<std::shared_ptr<baselines::AggRouterProgram>>
+      agg_router_programs_;
+  // kReplicated mode:
+  std::shared_ptr<baselines::AggRouterProgram> client_router_program_;
+  std::vector<std::shared_ptr<core::AggNetCloneProgram>>
+      agg_netclone_programs_;
+  // Both modes:
   std::vector<std::shared_ptr<core::NetCloneProgram>> server_tor_programs_;
-  std::shared_ptr<baselines::AggRouterProgram> agg_program_;
   std::vector<host::Server*> servers_;
   std::vector<host::Client*> clients_;
 };

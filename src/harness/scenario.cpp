@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <cctype>
 #include <cmath>
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 
+#include "core/groups.hpp"
+#include "harness/traffic_shapes.hpp"
 #include "host/service.hpp"
 #include "host/workload.hpp"
 #include "kv/kv_workload.hpp"
@@ -67,6 +70,67 @@ std::vector<double> parse_load_list(const std::string& value) {
   return loads;
 }
 
+/// The scenario's workload objects (shared by the single-rack and
+/// fat-tree builders).
+void make_workload(const Scenario& s,
+                   std::shared_ptr<host::RequestFactory>& factory,
+                   std::shared_ptr<host::ServiceModel>& service) {
+  const host::JitterModel jitter{s.jitter_p, s.jitter_multiplier, s.noise};
+  if (s.workload == "exp") {
+    factory = std::make_shared<host::ExponentialWorkload>(s.mean_us);
+    service = std::make_shared<host::SyntheticService>(jitter);
+  } else if (s.workload == "bimodal") {
+    factory = std::make_shared<host::BimodalWorkload>(
+        s.bimodal_short_fraction, s.bimodal_short_us, s.bimodal_long_us);
+    service = std::make_shared<host::SyntheticService>(jitter);
+  } else if (s.workload == "fixed") {
+    factory = std::make_shared<host::FixedWorkload>(s.mean_us);
+    service = std::make_shared<host::SyntheticService>(jitter);
+  } else {
+    const kv::KvCostProfile profile = s.workload == "redis"
+                                          ? kv::redis_profile()
+                                          : kv::memcached_profile();
+    auto store = std::make_shared<kv::KvStore>(s.kv_objects);
+    kv::populate(*store, s.kv_objects);
+    kv::KvMix mix;
+    mix.get_fraction = s.get_fraction;
+    mix.num_keys = s.kv_objects;
+    factory = std::make_shared<kv::KvRequestFactory>(mix, profile);
+    service = std::make_shared<kv::KvService>(store, profile, jitter);
+  }
+}
+
+/// Compiles the generator keys into plain client parameters: a rate
+/// profile for the temporal shape, group weights for the spatial one.
+/// `steady` + zero skew + no hotspot leaves the template untouched, so
+/// legacy scenarios draw the exact same random sequences as before.
+void apply_traffic_shape(const Scenario& s, host::ClientParams& tmpl) {
+  if (s.shape == "flash") {
+    tmpl.rate_profile = flash_crowd_profile(
+        SimTime::milliseconds(s.flash_at_ms),
+        SimTime::milliseconds(s.flash_len_ms), s.flash_x);
+  } else if (s.shape == "diurnal") {
+    tmpl.rate_profile = diurnal_profile(
+        SimTime::milliseconds(s.diurnal_period_ms), s.diurnal_min,
+        SimTime::milliseconds(s.warmup_ms + s.measure_ms));
+  }
+  if (s.skew > 0.0 || s.hotspot_rack.has_value()) {
+    const auto groups = core::build_group_pairs(s.total_servers());
+    std::vector<double> weights(groups.size(), 1.0);
+    if (s.skew > 0.0) {
+      weights = zipf_weights(groups.size(), s.skew);
+    }
+    if (s.hotspot_rack.has_value()) {
+      const std::vector<double> hot = hotspot_group_weights(
+          groups, s.servers_per_rack, *s.hotspot_rack, s.hotspot_share);
+      for (std::size_t i = 0; i < weights.size(); ++i) {
+        weights[i] *= hot[i];
+      }
+    }
+    tmpl.group_weights = std::move(weights);
+  }
+}
+
 }  // namespace
 
 Scheme parse_scheme(const std::string& name) {
@@ -110,73 +174,144 @@ Scenario parse_scenario(const std::string& text) {
     if (line.empty()) {
       continue;
     }
-    const auto eq = line.find('=');
-    if (eq == std::string::npos) {
-      throw ScenarioError{"line " + std::to_string(line_no) +
-                          ": expected 'key = value'"};
-    }
-    const std::string key = lower(trim(line.substr(0, eq)));
-    const std::string value = trim(line.substr(eq + 1));
-    if (value.empty()) {
-      throw ScenarioError{"line " + std::to_string(line_no) +
-                          ": empty value for '" + key + "'"};
-    }
-
-    if (key == "scheme") {
-      scenario.scheme = parse_scheme(value);
-    } else if (key == "servers") {
-      scenario.servers = parse_u64(value, key);
-    } else if (key == "workers") {
-      scenario.workers = static_cast<std::uint32_t>(parse_u64(value, key));
-    } else if (key == "clients") {
-      scenario.clients = parse_u64(value, key);
-    } else if (key == "workload") {
-      scenario.workload = lower(value);
-    } else if (key == "mean_us") {
-      scenario.mean_us = parse_double(value, key);
-    } else if (key == "bimodal_short_us") {
-      scenario.bimodal_short_us = parse_double(value, key);
-    } else if (key == "bimodal_long_us") {
-      scenario.bimodal_long_us = parse_double(value, key);
-    } else if (key == "bimodal_short_fraction") {
-      scenario.bimodal_short_fraction = parse_double(value, key);
-    } else if (key == "get_fraction") {
-      scenario.get_fraction = parse_double(value, key);
-    } else if (key == "kv_objects") {
-      scenario.kv_objects = parse_u64(value, key);
-    } else if (key == "jitter_p") {
-      scenario.jitter_p = parse_double(value, key);
-    } else if (key == "jitter_multiplier") {
-      scenario.jitter_multiplier = parse_double(value, key);
-    } else if (key == "noise") {
-      scenario.noise = parse_double(value, key);
-    } else if (key == "loads") {
-      scenario.loads = parse_load_list(value);
-    } else if (key == "measure_ms") {
-      scenario.measure_ms = parse_double(value, key);
-    } else if (key == "warmup_ms") {
-      scenario.warmup_ms = parse_double(value, key);
-    } else if (key == "seed") {
-      scenario.seed = parse_u64(value, key);
-    } else if (key == "csv") {
-      scenario.csv_path = value;
-    } else if (key == "title") {
-      scenario.title = value;
-    } else if (key == "fault") {
-      try {
-        scenario.faults.events.push_back(parse_fault_entry(value));
-      } catch (const FaultPlanError& err) {
-        throw ScenarioError{"line " + std::to_string(line_no) + ": " +
-                            err.what()};
+    // Every parse problem below — missing '=', a bad numeric value, an
+    // unknown key, a malformed fault entry — is rethrown with the line
+    // number prefixed, so file diagnostics always point at the spot.
+    try {
+      const auto eq = line.find('=');
+      if (eq == std::string::npos) {
+        throw ScenarioError{"expected 'key = value'"};
       }
-    } else {
-      throw ScenarioError{"line " + std::to_string(line_no) +
-                          ": unknown key '" + key + "'"};
+      const std::string key = lower(trim(line.substr(0, eq)));
+      const std::string value = trim(line.substr(eq + 1));
+      if (value.empty()) {
+        throw ScenarioError{"empty value for '" + key + "'"};
+      }
+
+      if (key == "scheme") {
+        scenario.scheme = parse_scheme(value);
+      } else if (key == "servers") {
+        scenario.servers = parse_u64(value, key);
+      } else if (key == "workers") {
+        scenario.workers =
+            static_cast<std::uint32_t>(parse_u64(value, key));
+      } else if (key == "clients") {
+        scenario.clients = parse_u64(value, key);
+      } else if (key == "workload") {
+        scenario.workload = lower(value);
+      } else if (key == "mean_us") {
+        scenario.mean_us = parse_double(value, key);
+      } else if (key == "bimodal_short_us") {
+        scenario.bimodal_short_us = parse_double(value, key);
+      } else if (key == "bimodal_long_us") {
+        scenario.bimodal_long_us = parse_double(value, key);
+      } else if (key == "bimodal_short_fraction") {
+        scenario.bimodal_short_fraction = parse_double(value, key);
+      } else if (key == "get_fraction") {
+        scenario.get_fraction = parse_double(value, key);
+      } else if (key == "kv_objects") {
+        scenario.kv_objects = parse_u64(value, key);
+      } else if (key == "jitter_p") {
+        scenario.jitter_p = parse_double(value, key);
+      } else if (key == "jitter_multiplier") {
+        scenario.jitter_multiplier = parse_double(value, key);
+      } else if (key == "noise") {
+        scenario.noise = parse_double(value, key);
+      } else if (key == "loads") {
+        scenario.loads = parse_load_list(value);
+      } else if (key == "measure_ms") {
+        scenario.measure_ms = parse_double(value, key);
+      } else if (key == "warmup_ms") {
+        scenario.warmup_ms = parse_double(value, key);
+      } else if (key == "seed") {
+        scenario.seed = parse_u64(value, key);
+      } else if (key == "csv") {
+        scenario.csv_path = value;
+      } else if (key == "title") {
+        scenario.title = value;
+      } else if (key == "racks") {
+        scenario.racks = parse_u64(value, key);
+      } else if (key == "servers_per_rack") {
+        scenario.servers_per_rack = parse_u64(value, key);
+      } else if (key == "aggs") {
+        scenario.aggs = parse_u64(value, key);
+      } else if (key == "agg_mode") {
+        scenario.agg_mode = lower(value);
+      } else if (key == "shards") {
+        scenario.shards = parse_u64(value, key);
+      } else if (key == "shape") {
+        scenario.shape = lower(value);
+      } else if (key == "flash_at_ms") {
+        scenario.flash_at_ms = parse_double(value, key);
+      } else if (key == "flash_len_ms") {
+        scenario.flash_len_ms = parse_double(value, key);
+      } else if (key == "flash_x") {
+        scenario.flash_x = parse_double(value, key);
+      } else if (key == "diurnal_period_ms") {
+        scenario.diurnal_period_ms = parse_double(value, key);
+      } else if (key == "diurnal_min") {
+        scenario.diurnal_min = parse_double(value, key);
+      } else if (key == "skew") {
+        scenario.skew = parse_double(value, key);
+      } else if (key == "hotspot_rack") {
+        scenario.hotspot_rack = parse_u64(value, key);
+      } else if (key == "hotspot_share") {
+        scenario.hotspot_share = parse_double(value, key);
+      } else if (key == "fault") {
+        try {
+          scenario.faults.events.push_back(parse_fault_entry(value));
+        } catch (const FaultPlanError& err) {
+          throw ScenarioError{err.what()};
+        }
+      } else {
+        throw ScenarioError{"unknown key '" + key + "'"};
+      }
+    } catch (const ScenarioError& err) {
+      throw ScenarioError{"line " + std::to_string(line_no) + ": " +
+                          err.what()};
     }
   }
 
-  if (scenario.servers < 2) {
-    throw ScenarioError{"'servers' must be >= 2"};
+  if (scenario.racks == 0) {
+    if (scenario.servers < 2) {
+      throw ScenarioError{"'servers' must be >= 2"};
+    }
+    if (scenario.hotspot_rack.has_value()) {
+      throw ScenarioError{
+          "'hotspot_rack' needs a rack structure (set racks >= 1)"};
+    }
+  } else {
+    if (scenario.servers_per_rack < 1) {
+      throw ScenarioError{"'servers_per_rack' must be >= 1"};
+    }
+    if (scenario.racks * scenario.servers_per_rack < 2) {
+      throw ScenarioError{
+          "the fat tree needs at least two servers in total"};
+    }
+    if (scenario.aggs < 1) {
+      throw ScenarioError{"'aggs' must be >= 1"};
+    }
+    if (scenario.agg_mode != "oblivious" &&
+        scenario.agg_mode != "replicated") {
+      throw ScenarioError{"unknown agg_mode: " + scenario.agg_mode +
+                          " (expected oblivious | replicated)"};
+    }
+    if (scenario.scheme != Scheme::kNetClone) {
+      throw ScenarioError{
+          "multi-rack scenarios (racks >= 1) support scheme = netclone "
+          "only"};
+    }
+    if (!scenario.faults.events.empty()) {
+      throw ScenarioError{
+          "'fault' lines target the single-rack harness (racks = 0)"};
+    }
+    if (scenario.hotspot_rack.has_value() &&
+        *scenario.hotspot_rack >= scenario.racks) {
+      throw ScenarioError{"'hotspot_rack' names rack " +
+                          std::to_string(*scenario.hotspot_rack) +
+                          " but only " + std::to_string(scenario.racks) +
+                          " racks exist"};
+    }
   }
   if (scenario.clients < 1) {
     throw ScenarioError{"'clients' must be >= 1"};
@@ -188,6 +323,32 @@ Scenario parse_scenario(const std::string& text) {
   if (!known_workload) {
     throw ScenarioError{"unknown workload: " + scenario.workload};
   }
+  if (scenario.shape != "steady" && scenario.shape != "flash" &&
+      scenario.shape != "diurnal") {
+    throw ScenarioError{"unknown shape: " + scenario.shape +
+                        " (expected steady | flash | diurnal)"};
+  }
+  if (scenario.shape == "flash" &&
+      (scenario.flash_x <= 0.0 || scenario.flash_len_ms <= 0.0 ||
+       scenario.flash_at_ms < 0.0)) {
+    throw ScenarioError{
+        "flash crowd needs flash_at_ms >= 0, flash_len_ms > 0, "
+        "flash_x > 0"};
+  }
+  if (scenario.shape == "diurnal" &&
+      (scenario.diurnal_period_ms <= 0.0 || scenario.diurnal_min <= 0.0 ||
+       scenario.diurnal_min > 1.0)) {
+    throw ScenarioError{
+        "diurnal curve needs diurnal_period_ms > 0 and diurnal_min in "
+        "(0, 1]"};
+  }
+  if (scenario.skew < 0.0) {
+    throw ScenarioError{"'skew' must be >= 0"};
+  }
+  if (scenario.hotspot_rack.has_value() &&
+      (scenario.hotspot_share <= 0.0 || scenario.hotspot_share >= 1.0)) {
+    throw ScenarioError{"'hotspot_share' must be in (0, 1)"};
+  }
   return scenario;
 }
 
@@ -198,7 +359,15 @@ Scenario load_scenario_file(const std::string& path) {
   }
   std::stringstream buffer;
   buffer << in.rdbuf();
-  return parse_scenario(buffer.str());
+  try {
+    return parse_scenario(buffer.str());
+  } catch (const ScenarioError& err) {
+    throw ScenarioError{path + ": " + err.what()};
+  }
+}
+
+std::size_t Scenario::total_servers() const {
+  return racks == 0 ? servers : racks * servers_per_rack;
 }
 
 ClusterConfig Scenario::build_config() const {
@@ -210,45 +379,64 @@ ClusterConfig Scenario::build_config() const {
   cfg.measure = SimTime::milliseconds(measure_ms);
   cfg.seed = seed;
   cfg.faults = faults;
+  make_workload(*this, cfg.factory, cfg.service);
+  apply_traffic_shape(*this, cfg.client_template);
+  return cfg;
+}
 
-  const host::JitterModel jitter{jitter_p, jitter_multiplier, noise};
-  if (workload == "exp") {
-    cfg.factory = std::make_shared<host::ExponentialWorkload>(mean_us);
-    cfg.service = std::make_shared<host::SyntheticService>(jitter);
-  } else if (workload == "bimodal") {
-    cfg.factory = std::make_shared<host::BimodalWorkload>(
-        bimodal_short_fraction, bimodal_short_us, bimodal_long_us);
-    cfg.service = std::make_shared<host::SyntheticService>(jitter);
-  } else if (workload == "fixed") {
-    cfg.factory = std::make_shared<host::FixedWorkload>(mean_us);
-    cfg.service = std::make_shared<host::SyntheticService>(jitter);
-  } else {
-    const kv::KvCostProfile profile = workload == "redis"
-                                          ? kv::redis_profile()
-                                          : kv::memcached_profile();
-    auto store = std::make_shared<kv::KvStore>(kv_objects);
-    kv::populate(*store, kv_objects);
-    kv::KvMix mix;
-    mix.get_fraction = get_fraction;
-    mix.num_keys = kv_objects;
-    cfg.factory = std::make_shared<kv::KvRequestFactory>(mix, profile);
-    cfg.service = std::make_shared<kv::KvService>(store, profile, jitter);
-  }
+MultiRackConfig Scenario::build_multirack_config() const {
+  NETCLONE_CHECK(racks >= 1,
+                 "build_multirack_config needs a fat-tree scenario "
+                 "(racks >= 1)");
+  MultiRackConfig cfg;
+  cfg.server_racks = racks;
+  cfg.servers_per_rack = servers_per_rack;
+  cfg.num_aggs = aggs;
+  cfg.agg_mode = agg_mode == "replicated" ? AggMode::kReplicated
+                                          : AggMode::kOblivious;
+  cfg.workers = workers;
+  cfg.num_clients = clients;
+  cfg.warmup = SimTime::milliseconds(warmup_ms);
+  cfg.measure = SimTime::milliseconds(measure_ms);
+  cfg.seed = seed;
+  cfg.num_shards = static_cast<std::size_t>(shards);
+  make_workload(*this, cfg.factory, cfg.service);
+  apply_traffic_shape(*this, cfg.client_template);
   return cfg;
 }
 
 double Scenario::capacity_rps() const {
-  const ClusterConfig cfg = build_config();
+  std::shared_ptr<host::RequestFactory> factory;
+  std::shared_ptr<host::ServiceModel> service;
+  make_workload(*this, factory, service);
   const double inflation = 1.0 + jitter_p * (jitter_multiplier - 1.0);
-  return cluster_capacity_rps(cfg.server_workers,
-                              cfg.factory->mean_intrinsic_us() * inflation);
+  const std::vector<std::uint32_t> worker_counts(total_servers(), workers);
+  return cluster_capacity_rps(worker_counts,
+                              factory->mean_intrinsic_us() * inflation);
 }
 
 std::vector<SweepPoint> Scenario::run() const {
-  const ClusterConfig cfg = build_config();
-  const auto points = run_sweep(cfg, capacity_rps(), loads);
+  std::vector<SweepPoint> points;
+  std::string workload_label;
+  if (racks == 0) {
+    const ClusterConfig cfg = build_config();
+    points = run_sweep(cfg, capacity_rps(), loads);
+    workload_label = cfg.factory->label();
+  } else {
+    const MultiRackConfig base = build_multirack_config();
+    workload_label = base.factory->label();
+    const double cap = capacity_rps();
+    std::uint64_t salt = 0;
+    for (const double fraction : loads) {
+      MultiRackConfig cfg = base;
+      cfg.offered_rps = cap * fraction;
+      cfg.seed = base.seed + 1000 * ++salt;
+      MultiRackExperiment experiment{cfg};
+      points.push_back(SweepPoint{fraction, experiment.run()});
+    }
+  }
   print_series(title + " — " + std::string{scheme_name(scheme)} + " — " +
-                   cfg.factory->label(),
+                   workload_label,
                points);
   if (csv_path) {
     if (write_csv(*csv_path, points)) {
@@ -281,8 +469,26 @@ warmup_ms  = 5
 seed       = 1
 # csv      = sweep.csv   # export the series
 title      = scenario
-# Timed faults (repeatable). Targets: links c<N>-sw0 / sw0-s<N>,
-# servers s<N>, switch sw0.
+# Multi-rack fat tree (racks >= 1 replaces `servers` with the pod below;
+# netclone scheme only).
+# racks            = 3
+# servers_per_rack = 3
+# aggs             = 2      # parallel aggregation switches
+# agg_mode         = oblivious  # oblivious | replicated (chain-replicated
+#                               # NetClone-aware aggregation tier)
+# shards           = 0      # event-queue shards (0 = NETCLONE_SHARDS)
+# Production traffic shapes (compile into client rate profiles/weights).
+# shape            = steady # steady | flash | diurnal
+# flash_at_ms      = 10
+# flash_len_ms     = 5
+# flash_x          = 4      # rate multiplier during the crowd
+# diurnal_period_ms = 20
+# diurnal_min      = 0.25   # trough multiplier
+# skew             = 0      # Zipf exponent over candidate groups
+# hotspot_rack     = 0      # concentrate load on one rack's groups
+# hotspot_share    = 0.5    # share of draws on the hot rack
+# Timed faults (repeatable; single-rack runs). Targets: links c<N>-sw0 /
+# sw0-s<N>, servers s<N>, switch sw0.
 # fault    = at=2s link_down sw0-s3
 # fault    = at=2.5s link_up sw0-s3
 # fault    = at=3s corrupt_rate sw0-s1 1e-4

@@ -16,6 +16,12 @@
 //     measure_ms = 25
 //     csv        = sweep.csv       # optional CSV export
 //
+// Setting `racks >= 1` switches the run onto the multi-rack fat-tree
+// harness (MultiRackExperiment): `servers_per_rack`, `aggs`, `agg_mode`,
+// and `shards` shape the pod. The traffic-shape generator keys (`shape`,
+// `skew`, `hotspot_rack`, ...) compile production traffic patterns into
+// plain client parameters and work with every scheme and harness.
+//
 // parse_scenario() validates keys and values; Scenario::run() executes the
 // sweep and prints the standard series table.
 #pragma once
@@ -27,11 +33,14 @@
 #include <vector>
 
 #include "harness/experiment.hpp"
+#include "harness/multirack.hpp"
 #include "harness/report.hpp"
 
 namespace netclone::harness {
 
 /// Thrown on unknown keys, malformed values, or inconsistent settings.
+/// The message always carries a `line N:` prefix for parse problems (and
+/// a `<path>:` prefix when the scenario came from a file).
 class ScenarioError : public std::runtime_error {
  public:
   explicit ScenarioError(const std::string& what)
@@ -61,13 +70,35 @@ struct Scenario {
   std::string title = "scenario";
   /// Timed fault entries from repeatable `fault =` lines, e.g.
   /// `fault = at=2s link_down sw0-s3`. Parsed (and validated) at
-  /// scenario-parse time.
+  /// scenario-parse time. Single-rack runs only.
   FaultPlan faults{};
+
+  // -- multi-rack fat tree (racks >= 1 selects MultiRackExperiment) -------
+  std::size_t racks = 0;          // server racks; 0 = classic single rack
+  std::size_t servers_per_rack = 3;
+  std::size_t aggs = 1;           // parallel aggregation switches
+  std::string agg_mode = "oblivious";  // oblivious | replicated
+  std::uint64_t shards = 0;       // 0 = NETCLONE_SHARDS / legacy
+
+  // -- production traffic shapes ------------------------------------------
+  std::string shape = "steady";   // steady | flash | diurnal
+  double flash_at_ms = 10.0;
+  double flash_len_ms = 5.0;
+  double flash_x = 4.0;           // rate multiplier during the crowd
+  double diurnal_period_ms = 20.0;
+  double diurnal_min = 0.25;      // trough multiplier
+  double skew = 0.0;              // Zipf exponent over candidate groups
+  std::optional<std::size_t> hotspot_rack{};  // multi-rack only
+  double hotspot_share = 0.5;     // draw mass on the hot rack's groups
 
   /// Builds the base cluster configuration (offered_rps left at 0; run()
   /// fills it per load point) plus the capacity estimate.
   [[nodiscard]] ClusterConfig build_config() const;
+  /// The fat-tree equivalent, valid when racks >= 1.
+  [[nodiscard]] MultiRackConfig build_multirack_config() const;
   [[nodiscard]] double capacity_rps() const;
+  /// Total worker hosts (racks * servers_per_rack in fat-tree mode).
+  [[nodiscard]] std::size_t total_servers() const;
 
   /// Runs the sweep, prints the series, optionally writes CSV.
   std::vector<SweepPoint> run() const;
@@ -77,7 +108,8 @@ struct Scenario {
 /// values raise ScenarioError with a line reference.
 [[nodiscard]] Scenario parse_scenario(const std::string& text);
 
-/// Reads and parses a scenario file.
+/// Reads and parses a scenario file. Parse errors are re-raised with the
+/// path prefixed, so `file.cfg: line 3: ...` points at the exact spot.
 [[nodiscard]] Scenario load_scenario_file(const std::string& path);
 
 /// A template scenario file with every supported key.

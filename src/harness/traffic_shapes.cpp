@@ -1,0 +1,79 @@
+#include "harness/traffic_shapes.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace netclone::harness {
+
+std::vector<host::RateSegment> flash_crowd_profile(SimTime at,
+                                                   SimTime duration,
+                                                   double factor) {
+  NETCLONE_CHECK(factor > 0.0, "flash crowd factor must be positive");
+  NETCLONE_CHECK(duration > SimTime::zero(),
+                 "flash crowd needs a positive duration");
+  return {host::RateSegment{at, factor},
+          host::RateSegment{at + duration, 1.0}};
+}
+
+std::vector<host::RateSegment> diurnal_profile(SimTime period,
+                                               double min_multiplier,
+                                               SimTime total,
+                                               std::size_t steps) {
+  NETCLONE_CHECK(period > SimTime::zero(), "diurnal period must be positive");
+  NETCLONE_CHECK(min_multiplier > 0.0 && min_multiplier <= 1.0,
+                 "diurnal minimum must be in (0, 1]");
+  NETCLONE_CHECK(steps >= 2, "diurnal curve needs >= 2 steps per period");
+  std::vector<host::RateSegment> profile;
+  const SimTime step =
+      SimTime::nanoseconds(period.ns() / static_cast<std::int64_t>(steps));
+  NETCLONE_CHECK(step > SimTime::zero(), "diurnal steps too fine");
+  const double amplitude = (1.0 - min_multiplier) / 2.0;
+  for (SimTime t = SimTime::zero(); t < total; t += step) {
+    const double phase = 2.0 * M_PI *
+                         static_cast<double>((t.ns() % period.ns())) /
+                         static_cast<double>(period.ns());
+    const double mult =
+        min_multiplier + amplitude * (1.0 + std::sin(phase));
+    profile.push_back(host::RateSegment{t, mult});
+  }
+  return profile;
+}
+
+std::vector<double> zipf_weights(std::size_t count, double s) {
+  NETCLONE_CHECK(count >= 1, "zipf needs at least one item");
+  NETCLONE_CHECK(s >= 0.0, "zipf exponent must be non-negative");
+  std::vector<double> weights(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    weights[i] = std::pow(static_cast<double>(i + 1), -s);
+  }
+  return weights;
+}
+
+std::vector<double> hotspot_group_weights(
+    const std::vector<core::GroupPair>& groups,
+    std::size_t servers_per_rack, std::size_t hot_rack, double share) {
+  NETCLONE_CHECK(servers_per_rack >= 1, "need servers per rack");
+  NETCLONE_CHECK(share > 0.0 && share < 1.0,
+                 "hotspot share must be in (0, 1)");
+  std::size_t hot = 0;
+  for (const core::GroupPair& g : groups) {
+    if (g.srv1 / servers_per_rack == hot_rack) {
+      ++hot;
+    }
+  }
+  NETCLONE_CHECK(hot > 0, "no candidate group targets the hotspot rack");
+  NETCLONE_CHECK(hot < groups.size(),
+                 "every group targets the hotspot rack — nothing to skew");
+  std::vector<double> weights(groups.size());
+  const double hot_w = share / static_cast<double>(hot);
+  const double cold_w =
+      (1.0 - share) / static_cast<double>(groups.size() - hot);
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    weights[i] =
+        groups[i].srv1 / servers_per_rack == hot_rack ? hot_w : cold_w;
+  }
+  return weights;
+}
+
+}  // namespace netclone::harness

@@ -34,6 +34,24 @@ Client::Client(sim::Scheduler& scheduler, ClientParams params,
   NETCLONE_CHECK(params_.rate_rps > 0.0, "client rate must be positive");
   NETCLONE_CHECK(params_.num_filter_tables > 0, "need >= 1 filter table");
   NETCLONE_CHECK(params_.request_fragments >= 1, "need >= 1 fragment");
+  if (!params_.rate_profile.empty()) {
+    NETCLONE_CHECK(params_.arrival == ArrivalProcess::kPoisson &&
+                       params_.loop == LoopMode::kOpenLoop,
+                   "rate profiles shape open-loop Poisson arrivals only");
+    SimTime prev = SimTime::zero();
+    for (const RateSegment& seg : params_.rate_profile) {
+      NETCLONE_CHECK(seg.multiplier > 0.0,
+                     "rate profile multipliers must be positive");
+      NETCLONE_CHECK(seg.from >= prev,
+                     "rate profile segments must be sorted by time");
+      prev = seg.from;
+    }
+  }
+  if (!params_.group_weights.empty()) {
+    NETCLONE_CHECK(params_.group_weights.size() == params_.num_groups,
+                   "group_weights must have one entry per group");
+    group_cdf_ = weight_cdf(params_.group_weights);
+  }
   NETCLONE_CHECK(
       params_.request_fragments == 1 ||
           params_.mode == SendMode::kViaSwitch,
@@ -60,11 +78,53 @@ void Client::start() {
   arrival_timer_.arm_at(std::max(first, sim_.now()));
 }
 
+double Client::profile_multiplier(const std::vector<RateSegment>& profile,
+                                  SimTime t) {
+  double mult = 1.0;
+  for (const RateSegment& seg : profile) {
+    if (seg.from > t) {
+      break;
+    }
+    mult = seg.multiplier;
+  }
+  return mult;
+}
+
+std::vector<double> Client::weight_cdf(const std::vector<double>& weights) {
+  std::vector<double> cdf;
+  cdf.reserve(weights.size());
+  double total = 0.0;
+  for (const double w : weights) {
+    NETCLONE_CHECK(w >= 0.0, "group weights must be non-negative");
+    total += w;
+    cdf.push_back(total);
+  }
+  NETCLONE_CHECK(total > 0.0, "group weights must not all be zero");
+  for (double& c : cdf) {
+    c /= total;
+  }
+  return cdf;
+}
+
+std::size_t Client::pick_weighted(const std::vector<double>& cdf,
+                                  double u) {
+  const auto it = std::upper_bound(cdf.begin(), cdf.end(), u);
+  const auto index =
+      static_cast<std::size_t>(std::distance(cdf.begin(), it));
+  return std::min(index, cdf.size() - 1);  // guard u ~ 1.0 rounding
+}
+
 SimTime Client::next_arrival_time() {
   const SimTime from = std::max(sim_.now(), params_.start_at);
   if (params_.arrival == ArrivalProcess::kPoisson) {
-    return from +
-           SimTime::microseconds(rng_.exponential(1e6 / params_.rate_rps));
+    // An active rate profile rescales the exponential gap by the
+    // multiplier in force at the draw instant (piecewise-constant
+    // thinning); an empty profile leaves the classic draw untouched.
+    double mean_us = 1e6 / params_.rate_rps;
+    if (!params_.rate_profile.empty()) {
+      mean_us /= profile_multiplier(params_.rate_profile, from);
+    }
+    return from + SimTime::microseconds(rng_.exponential(mean_us));
   }
   // MMPP sample path: arrivals run at rate_on inside exponentially
   // distributed ON windows; leftover inter-arrival time carries across the
@@ -103,8 +163,12 @@ void Client::issue_request() {
   Pending pending;
   pending.sent_at = sim_.now();
   pending.request = factory_->make(rng_);
-  pending.grp = static_cast<std::uint16_t>(
-      rng_.next_below(std::max<std::uint16_t>(params_.num_groups, 1)));
+  pending.grp =
+      group_cdf_.empty()
+          ? static_cast<std::uint16_t>(rng_.next_below(
+                std::max<std::uint16_t>(params_.num_groups, 1)))
+          : static_cast<std::uint16_t>(
+                pick_weighted(group_cdf_, rng_.next_double()));
   pending.idx =
       static_cast<std::uint8_t>(rng_.next_below(params_.num_filter_tables));
   if (params_.mode == SendMode::kCClone) {

@@ -48,6 +48,14 @@ enum class ArrivalProcess {
   kBursty,
 };
 
+/// One step of a piecewise-constant rate profile: from `from` onward the
+/// offered rate is rate_rps * multiplier, until the next segment starts.
+/// Before the first segment the multiplier is 1.0.
+struct RateSegment {
+  SimTime from = SimTime::zero();
+  double multiplier = 1.0;
+};
+
 /// How request issuance is paced.
 enum class LoopMode {
   /// The paper's load generator: arrivals follow the configured process
@@ -72,6 +80,18 @@ struct ClientParams {
   double burst_on_fraction = 0.25;
   /// kBursty: mean length of one ON window.
   SimTime burst_mean_on = SimTime::microseconds(200.0);
+  /// Production traffic shapes (flash crowds, diurnal curves — see
+  /// harness/traffic_shapes): a piecewise-constant multiplier on rate_rps
+  /// over absolute simulation time. Segments must be sorted by `from`
+  /// with positive multipliers. Empty = flat rate (the draw sequence is
+  /// then bit-identical to builds without this feature). Poisson
+  /// arrivals only.
+  std::vector<RateSegment> rate_profile{};
+  /// Skewed group popularity (Zipf sweeps, rack hotspots): when
+  /// non-empty, the request's candidate-group id is drawn from this
+  /// weight vector (size must equal num_groups) instead of uniformly.
+  /// Weights are relative, non-negative, with a positive sum.
+  std::vector<double> group_weights{};
   /// Number of candidate-server groups installed in GrpT (2·C(n,2)).
   std::uint16_t num_groups = 1;
   /// Number of filter tables in the switch (the IDX field range).
@@ -168,7 +188,25 @@ class Client : public phys::Node {
   /// operator tells clients the new group count.
   void set_num_groups(std::uint16_t num_groups) {
     params_.num_groups = num_groups;
+    if (!params_.group_weights.empty()) {
+      params_.group_weights.resize(num_groups, 0.0);
+      group_cdf_ = weight_cdf(params_.group_weights);
+    }
   }
+
+  /// The rate multiplier a profile applies at `t` (1.0 before the first
+  /// segment, and for an empty profile). Static so the traffic-shape
+  /// tests exercise exactly the client's lookup.
+  [[nodiscard]] static double profile_multiplier(
+      const std::vector<RateSegment>& profile, SimTime t);
+  /// Cumulative weights for pick_weighted; validates the vector (throws
+  /// via NETCLONE_CHECK on negatives or a zero sum).
+  [[nodiscard]] static std::vector<double> weight_cdf(
+      const std::vector<double>& weights);
+  /// Index drawn by a uniform u in [0,1) against `cdf` — the client's
+  /// group draw, exposed for statistical tests.
+  [[nodiscard]] static std::size_t pick_weighted(
+      const std::vector<double>& cdf, double u);
 
  private:
   struct Pending {
@@ -229,6 +267,8 @@ class Client : public phys::Node {
 
   sim::Scheduler& sim_;
   ClientParams params_;
+  /// Cumulative group weights (empty = uniform draws).
+  std::vector<double> group_cdf_;
   std::shared_ptr<RequestFactory> factory_;
   Rng rng_;
   /// Jitter stream for retransmit backoff — separate from the workload

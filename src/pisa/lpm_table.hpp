@@ -44,16 +44,25 @@ class LpmTable final : public StageResource {
   /// Longest matching prefix for `addr`, or nullopt.
   [[nodiscard]] std::optional<Value> lookup(PipelinePass& pass,
                                             wire::Ipv4Address addr) {
+    const Value* v = find(pass, addr);
+    return v != nullptr ? std::optional<Value>{*v} : std::nullopt;
+  }
+
+  /// Longest matching prefix for `addr` without copying the action data
+  /// (ECMP port lists); nullptr on miss. The pointer is stable until the
+  /// next control-plane insert/erase.
+  [[nodiscard]] const Value* find(PipelinePass& pass,
+                                  wire::Ipv4Address addr) {
     record_access(pass);
     for (int len = 32; len >= 0; --len) {
       auto it = entries_.find(
           Key{masked(addr.value, static_cast<std::uint8_t>(len)),
               static_cast<std::uint8_t>(len)});
       if (it != entries_.end()) {
-        return it->second;
+        return &it->second;
       }
     }
-    return std::nullopt;
+    return nullptr;
   }
 
   [[nodiscard]] std::size_t sram_bytes() const override {

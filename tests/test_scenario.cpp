@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <fstream>
 
+#include "core/groups.hpp"
+
 namespace netclone::harness {
 namespace {
 
@@ -62,6 +64,164 @@ TEST(ScenarioParse, Errors) {
   EXPECT_THROW((void)parse_scenario("loads = 0.5,-1\n"), ScenarioError);
   EXPECT_THROW((void)parse_scenario("loads = \n"), ScenarioError);
   EXPECT_THROW((void)parse_scenario("servers = 2.5\n"), ScenarioError);
+}
+
+/// Captures the ScenarioError message for a bad input (fails the test if
+/// the input parses).
+std::string parse_error(const std::string& text) {
+  try {
+    (void)parse_scenario(text);
+  } catch (const ScenarioError& err) {
+    return err.what();
+  }
+  ADD_FAILURE() << "expected ScenarioError for:\n" << text;
+  return "";
+}
+
+TEST(ScenarioDiagnostics, NumericErrorsCarryLineAndKey) {
+  const std::string msg = parse_error("servers = few\n");
+  EXPECT_NE(msg.find("line 1"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("servers"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("few"), std::string::npos) << msg;
+
+  // The line counter tracks blank/comment lines too.
+  const std::string later =
+      parse_error("# header\n\nservers = 4\nflash_x = fast\n");
+  EXPECT_NE(later.find("line 4"), std::string::npos) << later;
+  EXPECT_NE(later.find("flash_x"), std::string::npos) << later;
+}
+
+TEST(ScenarioDiagnostics, StructuralErrorsCarryLine) {
+  const std::string missing_eq = parse_error("servers\n");
+  EXPECT_NE(missing_eq.find("line 1"), std::string::npos) << missing_eq;
+  const std::string empty = parse_error("servers = 4\nseed =\n");
+  EXPECT_NE(empty.find("line 2"), std::string::npos) << empty;
+  EXPECT_NE(empty.find("seed"), std::string::npos) << empty;
+  const std::string unknown = parse_error("zzz = 1\n");
+  EXPECT_NE(unknown.find("line 1"), std::string::npos) << unknown;
+  EXPECT_NE(unknown.find("zzz"), std::string::npos) << unknown;
+}
+
+TEST(ScenarioDiagnostics, FaultErrorsCarryLine) {
+  const std::string msg =
+      parse_error("servers = 4\nfault = at=2s teleport sw0\n");
+  EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+}
+
+TEST(ScenarioDiagnostics, FileErrorsCarryPath) {
+  const std::string path = ::testing::TempDir() + "netclone_bad.cfg";
+  {
+    std::ofstream out{path};
+    out << "servers = 4\nworkers = oops\n";
+  }
+  try {
+    (void)load_scenario_file(path);
+    ADD_FAILURE() << "expected ScenarioError";
+  } catch (const ScenarioError& err) {
+    const std::string msg = err.what();
+    EXPECT_NE(msg.find(path), std::string::npos) << msg;
+    EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ScenarioParse, FatTreeKeys) {
+  const Scenario s = parse_scenario(R"(
+    racks = 3
+    servers_per_rack = 4
+    aggs = 2
+    agg_mode = replicated
+    shards = 3
+    shape = diurnal
+    skew = 1.1
+    hotspot_rack = 2
+    hotspot_share = 0.6
+  )");
+  EXPECT_EQ(s.racks, 3u);
+  EXPECT_EQ(s.servers_per_rack, 4u);
+  EXPECT_EQ(s.aggs, 2u);
+  EXPECT_EQ(s.agg_mode, "replicated");
+  EXPECT_EQ(s.shards, 3u);
+  EXPECT_EQ(s.total_servers(), 12u);
+  ASSERT_TRUE(s.hotspot_rack.has_value());
+  EXPECT_EQ(*s.hotspot_rack, 2u);
+  // Classic scenarios count `servers` instead.
+  EXPECT_EQ(parse_scenario("servers = 5\n").total_servers(), 5u);
+}
+
+TEST(ScenarioParse, GeneratorKeyValidation) {
+  const std::string tree = "racks = 2\nservers_per_rack = 2\n";
+  EXPECT_NE(parse_error(tree + "agg_mode = weird\n").find("agg_mode"),
+            std::string::npos);
+  EXPECT_NE(parse_error("shape = square\n").find("square"),
+            std::string::npos);
+  EXPECT_NE(parse_error("shape = flash\nflash_x = 0\n").find("flash_x"),
+            std::string::npos);
+  EXPECT_NE(parse_error("shape = diurnal\ndiurnal_min = 2\n")
+                .find("diurnal_min"),
+            std::string::npos);
+  EXPECT_NE(parse_error("skew = -1\n").find("skew"), std::string::npos);
+  EXPECT_NE(parse_error(tree + "hotspot_rack = 5\n").find("hotspot_rack"),
+            std::string::npos);
+  EXPECT_NE(parse_error(tree + "hotspot_rack = 0\nhotspot_share = 1.5\n")
+                .find("hotspot_share"),
+            std::string::npos);
+  // A hotspot needs a rack structure; faults need the single-rack
+  // harness; the fat tree is NetClone-only and needs >= 2 servers.
+  EXPECT_NE(parse_error("hotspot_rack = 0\n").find("racks"),
+            std::string::npos);
+  EXPECT_NE(parse_error(tree + "fault = at=2s switch_wipe sw0\n")
+                .find("single-rack"),
+            std::string::npos);
+  EXPECT_NE(parse_error(tree + "scheme = baseline\n").find("netclone"),
+            std::string::npos);
+  EXPECT_THROW((void)parse_scenario("racks = 1\nservers_per_rack = 1\n"),
+               ScenarioError);
+  EXPECT_THROW((void)parse_scenario(tree + "aggs = 0\n"), ScenarioError);
+}
+
+TEST(ScenarioBuild, TrafficShapesReachClientTemplate) {
+  const Scenario s = parse_scenario(
+      "servers = 4\nshape = flash\nflash_at_ms = 3\nflash_len_ms = 2\n"
+      "flash_x = 5\nskew = 1.0\n");
+  const ClusterConfig cfg = s.build_config();
+  ASSERT_EQ(cfg.client_template.rate_profile.size(), 2u);
+  EXPECT_DOUBLE_EQ(cfg.client_template.rate_profile[0].multiplier, 5.0);
+  // 4 servers -> C(4,2) unordered candidate pairs... doubled to ordered
+  // groups by build_group_pairs; the weight vector must match.
+  EXPECT_EQ(cfg.client_template.group_weights.size(),
+            core::build_group_pairs(4).size());
+  // Steady + no skew leaves the template untouched (digest compat).
+  const ClusterConfig plain =
+      parse_scenario("servers = 4\n").build_config();
+  EXPECT_TRUE(plain.client_template.rate_profile.empty());
+  EXPECT_TRUE(plain.client_template.group_weights.empty());
+}
+
+TEST(ScenarioBuild, MultiRackConfigWiring) {
+  const Scenario s = parse_scenario(R"(
+    racks = 2
+    servers_per_rack = 3
+    aggs = 2
+    agg_mode = replicated
+    workers = 8
+    clients = 3
+    shards = 2
+    seed = 9
+  )");
+  const MultiRackConfig cfg = s.build_multirack_config();
+  EXPECT_EQ(cfg.server_racks, 2u);
+  EXPECT_EQ(cfg.servers_per_rack, 3u);
+  EXPECT_EQ(cfg.num_aggs, 2u);
+  EXPECT_EQ(cfg.agg_mode, AggMode::kReplicated);
+  EXPECT_EQ(cfg.workers, 8u);
+  EXPECT_EQ(cfg.num_clients, 3u);
+  EXPECT_EQ(cfg.num_shards, 2u);
+  EXPECT_EQ(cfg.seed, 9u);
+  ASSERT_NE(cfg.factory, nullptr);
+  // Capacity counts all racks' hosts.
+  const double expected = 6.0 * 8.0 * 1e6 / (25.0 * 1.14);
+  EXPECT_NEAR(s.capacity_rps(), expected, expected * 1e-9);
 }
 
 TEST(ScenarioParse, TemplateParsesCleanly) {

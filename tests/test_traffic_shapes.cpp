@@ -1,0 +1,150 @@
+#include "harness/traffic_shapes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "core/groups.hpp"
+#include "host/client.hpp"
+
+namespace netclone::harness {
+namespace {
+
+using host::Client;
+using host::RateSegment;
+
+TEST(FlashCrowd, ProfileShape) {
+  const auto profile = flash_crowd_profile(SimTime::milliseconds(10),
+                                           SimTime::milliseconds(5), 4.0);
+  ASSERT_EQ(profile.size(), 2U);
+  // Before, during, and after the crowd — via the client's own lookup.
+  EXPECT_DOUBLE_EQ(
+      Client::profile_multiplier(profile, SimTime::milliseconds(9)), 1.0);
+  EXPECT_DOUBLE_EQ(
+      Client::profile_multiplier(profile, SimTime::milliseconds(10)), 4.0);
+  EXPECT_DOUBLE_EQ(
+      Client::profile_multiplier(profile, SimTime::milliseconds(14)), 4.0);
+  EXPECT_DOUBLE_EQ(
+      Client::profile_multiplier(profile, SimTime::milliseconds(15)), 1.0);
+  EXPECT_DOUBLE_EQ(
+      Client::profile_multiplier(profile, SimTime::milliseconds(60)), 1.0);
+}
+
+TEST(FlashCrowd, RejectsDegenerateInputs) {
+  EXPECT_THROW((void)flash_crowd_profile(SimTime::milliseconds(1),
+                                         SimTime::zero(), 2.0),
+               CheckFailure);
+  EXPECT_THROW((void)flash_crowd_profile(SimTime::milliseconds(1),
+                                         SimTime::milliseconds(1), 0.0),
+               CheckFailure);
+}
+
+TEST(Diurnal, SwingsBetweenTroughAndPeak) {
+  const SimTime period = SimTime::milliseconds(20);
+  const auto profile =
+      diurnal_profile(period, 0.25, SimTime::milliseconds(40), 16);
+  ASSERT_EQ(profile.size(), 32U);
+  double lo = 1e9;
+  double hi = -1e9;
+  for (const RateSegment& seg : profile) {
+    EXPECT_GT(seg.multiplier, 0.0);
+    lo = std::min(lo, seg.multiplier);
+    hi = std::max(hi, seg.multiplier);
+  }
+  // The sampled sine must come close to both extremes of [min, 1].
+  EXPECT_LT(lo, 0.30);
+  EXPECT_GE(lo, 0.25);
+  EXPECT_GT(hi, 0.95);
+  EXPECT_LE(hi, 1.0 + 1e-12);
+  // Segments are sorted by start time (the client requires this).
+  for (std::size_t i = 1; i < profile.size(); ++i) {
+    EXPECT_LT(profile[i - 1].from, profile[i].from);
+  }
+  // The curve repeats each period.
+  EXPECT_DOUBLE_EQ(profile[0].multiplier, profile[16].multiplier);
+}
+
+TEST(Diurnal, RejectsDegenerateInputs) {
+  EXPECT_THROW((void)diurnal_profile(SimTime::zero(), 0.5,
+                                     SimTime::milliseconds(10)),
+               CheckFailure);
+  EXPECT_THROW((void)diurnal_profile(SimTime::milliseconds(10), 0.0,
+                                     SimTime::milliseconds(10)),
+               CheckFailure);
+  EXPECT_THROW((void)diurnal_profile(SimTime::milliseconds(10), 1.5,
+                                     SimTime::milliseconds(10)),
+               CheckFailure);
+}
+
+TEST(Zipf, WeightsFollowPowerLaw) {
+  const auto w = zipf_weights(100, 1.0);
+  ASSERT_EQ(w.size(), 100U);
+  EXPECT_DOUBLE_EQ(w[0], 1.0);
+  EXPECT_DOUBLE_EQ(w[1], 0.5);
+  EXPECT_DOUBLE_EQ(w[9], 0.1);
+  // s == 0 degenerates to uniform.
+  for (const double u : zipf_weights(8, 0.0)) {
+    EXPECT_DOUBLE_EQ(u, 1.0);
+  }
+}
+
+TEST(Zipf, ObservedSkewMatchesWeights) {
+  // Draw through the client's own cdf/pick path and compare observed
+  // frequencies to the analytic distribution.
+  const std::size_t n = 20;
+  const auto weights = zipf_weights(n, 1.2);
+  const auto cdf = Client::weight_cdf(weights);
+  const double total =
+      std::accumulate(weights.begin(), weights.end(), 0.0);
+  std::vector<std::uint64_t> counts(n, 0);
+  Rng rng{42};
+  const std::uint64_t draws = 200000;
+  for (std::uint64_t i = 0; i < draws; ++i) {
+    ++counts[Client::pick_weighted(cdf, rng.next_double())];
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const double expected = weights[i] / total;
+    const double observed =
+        static_cast<double>(counts[i]) / static_cast<double>(draws);
+    EXPECT_NEAR(observed, expected, 0.01) << "item " << i;
+  }
+  // Same seed, same draws: the sampler is deterministic.
+  std::vector<std::uint64_t> again(n, 0);
+  Rng rng2{42};
+  for (std::uint64_t i = 0; i < draws; ++i) {
+    ++again[Client::pick_weighted(cdf, rng2.next_double())];
+  }
+  EXPECT_EQ(counts, again);
+}
+
+TEST(Hotspot, ConcentratesMassOnHotRack) {
+  // 3 racks x 2 servers: groups whose first candidate is sid 2 or 3
+  // belong to rack 1.
+  const auto groups = core::build_group_pairs(6);
+  const auto weights = hotspot_group_weights(groups, 2, 1, 0.7);
+  ASSERT_EQ(weights.size(), groups.size());
+  double hot_mass = 0.0;
+  double cold_mass = 0.0;
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    const std::size_t rack = groups[i].srv1 / 2;
+    (rack == 1 ? hot_mass : cold_mass) += weights[i];
+  }
+  EXPECT_NEAR(hot_mass, 0.7, 1e-9);
+  EXPECT_NEAR(cold_mass, 0.3, 1e-9);
+  // Every weight positive, so weight_cdf accepts the vector.
+  (void)Client::weight_cdf(weights);
+}
+
+TEST(Hotspot, RejectsDegenerateInputs) {
+  const auto groups = core::build_group_pairs(4);
+  EXPECT_THROW((void)hotspot_group_weights(groups, 2, 5, 0.5),
+               CheckFailure);
+  EXPECT_THROW((void)hotspot_group_weights(groups, 2, 0, 1.0),
+               CheckFailure);
+  EXPECT_THROW((void)hotspot_group_weights(groups, 0, 0, 0.5),
+               CheckFailure);
+}
+
+}  // namespace
+}  // namespace netclone::harness
