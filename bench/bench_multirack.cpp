@@ -26,6 +26,7 @@
 
 #include "bench_common.hpp"
 #include "common/check.hpp"
+#include "harness/faults.hpp"
 #include "harness/invariants.hpp"
 #include "harness/multirack.hpp"
 #include "host/service.hpp"
@@ -133,6 +134,71 @@ RunResult best_of_3(std::size_t num_shards) {
   return best;
 }
 
+// -- chain fail-over recovery (bench_fig16-style, for the pod) -------------
+
+constexpr double kFailoverBinUs = 500.0;
+constexpr std::size_t kFailBin = 20;    // agg_fail at 10 ms
+constexpr std::size_t kRejoinBin = 28;  // agg_rejoin at 14 ms
+
+/// The measured pod with the tail replica (agg1) killed mid-run and
+/// readmitted 4 ms later. Retransmission is armed so the losses a crash
+/// inflicts (sprayed requests, in-flight responses) are absorbed.
+harness::MultiRackConfig failover_config(std::size_t num_shards) {
+  harness::MultiRackConfig cfg = pod_config(num_shards);
+  cfg.client_template.retransmit_timeout = SimTime::microseconds(400.0);
+  cfg.client_template.max_retransmits = 6;
+  cfg.faults = harness::parse_fault_plan(
+      "at=10ms agg_fail agg1\n"
+      "at=14ms agg_rejoin agg1\n",
+      "bench_multirack");
+  return cfg;
+}
+
+struct FailoverResult {
+  std::vector<std::uint64_t> bins;
+  std::uint64_t digest = 0;
+  std::uint64_t executed = 0;
+  double recovery_us = -1.0;
+};
+
+FailoverResult run_failover(std::size_t num_shards) {
+  harness::MultiRackExperiment experiment{failover_config(num_shards)};
+  FailoverResult out;
+  out.bins = experiment.run_timeline(
+      SimTime::milliseconds(32), SimTime::microseconds(kFailoverBinUs));
+
+  const harness::InvariantReport report =
+      harness::audit_invariants(experiment);
+  NETCLONE_CHECK(report.ok(), "fail-over run violated invariants at " +
+                                  std::to_string(num_shards) +
+                                  " shards:\n" + report.to_string());
+  const harness::ChainController* ctrl = experiment.chain_controller();
+  NETCLONE_CHECK(ctrl != nullptr && ctrl->quiescent() &&
+                     ctrl->admitted_members().size() == 2,
+                 "agg1 never completed its rejoin");
+
+  // Recovery: microseconds from the crash until a bin regains 90% of the
+  // pre-failure average (the chain splices around the corpse in-band, so
+  // this is orders of magnitude below a switch reboot).
+  double pre_fail = 0.0;
+  for (std::size_t i = kFailBin - 8; i < kFailBin; ++i) {
+    pre_fail += static_cast<double>(out.bins[i]);
+  }
+  pre_fail /= 8.0;
+  for (std::size_t i = kFailBin; i < out.bins.size(); ++i) {
+    if (static_cast<double>(out.bins[i]) >= 0.9 * pre_fail) {
+      out.recovery_us =
+          static_cast<double>(i + 1 - kFailBin) * kFailoverBinUs;
+      break;
+    }
+  }
+  NETCLONE_CHECK(out.recovery_us >= 0.0,
+                 "throughput never regained 90% after the fail-over");
+  out.digest = harness::chaos_digest(experiment);
+  out.executed = experiment.executed_events();
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -155,6 +221,20 @@ int main(int argc, char** argv) {
                  "4-shard run diverged from the unsharded oracle");
   NETCLONE_CHECK(shard4.cloned > 0,
                  "replicated aggregation tier cloned nothing");
+
+  // Fail-over recovery: the timeline is simulated, so the digest and the
+  // recovery time are machine-independent; the 4-shard run must agree
+  // with the unsharded oracle bit for bit even through the crash.
+  const FailoverResult failover_oracle = run_failover(/*num_shards=*/0);
+  const FailoverResult failover = run_failover(/*num_shards=*/4);
+  NETCLONE_CHECK(failover.digest == failover_oracle.digest &&
+                     failover.executed == failover_oracle.executed,
+                 "sharded fail-over run diverged from the oracle");
+  std::printf("\nfail-over (agg1 down at bin %zu, back at bin %zu, "
+              "%.0f us bins):\n",
+              kFailBin, kRejoinBin, kFailoverBinUs);
+  std::printf("  recovered to 90%% of pre-crash throughput in %.0f us\n",
+              failover.recovery_us);
 
   const double scaling = shard1.wall_s / shard4.wall_s;
   std::printf("pod point (%llu completed, p99 %lld ns, %llu events, "
@@ -184,6 +264,9 @@ int main(int argc, char** argv) {
       << "  \"multirack_executed_events\": " << shard4.executed << ",\n"
       << "  \"multirack_digest\": " << shard4.digest << ",\n"
       << "  \"multirack_cloned_requests\": " << shard4.cloned << ",\n"
+      << "  \"multirack_failover_digest\": " << failover.digest << ",\n"
+      << "  \"multirack_failover_recovery_us\": " << failover.recovery_us
+      << ",\n"
       << "  \"multirack_wall_seconds_shard4\": " << shard4.wall_s << ",\n"
       << "  \"multirack_wall_seconds_shard4_legacy\": " << shard1.wall_s
       << ",\n"

@@ -56,7 +56,7 @@ EXACT_KEYS = {"fig7_completed", "fig7_p99_ns", "fig7_executed_events",
               "fig16_nofault_completed", "fig16_nofault_digest",
               "multirack_completed", "multirack_p99_ns",
               "multirack_executed_events", "multirack_digest",
-              "multirack_cloned_requests"}
+              "multirack_cloned_requests", "multirack_failover_digest"}
 
 # Absolute minimum ratios, gated against the CURRENT run (both sides of
 # each ratio are measured in the same process on the same machine, so

@@ -24,7 +24,8 @@ AggNetCloneProgram::AggNetCloneProgram(pisa::Pipeline& pipeline,
       shadow_table_(pipeline, "ShadowT", 4, config.max_servers),
       hash_unit_(pipeline, "FilterHash", 5),
       fwd_table_(pipeline, "FwdT", 6, /*capacity=*/1024, /*key_bytes=*/4,
-                 /*value_bytes=*/2) {
+                 /*value_bytes=*/2),
+      chain_next_(role.chain_next_port) {
   NETCLONE_CHECK(config_.num_filter_tables >= 1 &&
                      config_.num_filter_tables <= 8,
                  "filter table count out of range");
@@ -79,6 +80,10 @@ void AggNetCloneProgram::on_ingress(wire::Packet& pkt,
     l3_forward(pkt, md, pass);
     return;
   }
+  if (nc.is_chain_sync()) {
+    handle_chain_sync(pkt, md);
+    return;
+  }
   if (nc.is_cancel()) {
     l3_forward(pkt, md, pass);
     return;
@@ -97,6 +102,9 @@ void AggNetCloneProgram::warm_burst(std::span<wire::Packet> pkts) {
       continue;
     }
     const wire::NetCloneHeader& nc = pkt.nc();
+    if (nc.is_chain_sync()) {
+      continue;  // control-plane marker — no match-table work to warm
+    }
     if ((nc.switch_id != 0 && nc.switch_id != config_.switch_id) ||
         nc.is_cancel()) {
       fwd_table_.prefetch(route_key(pkt.ip.dst));
@@ -221,6 +229,14 @@ void AggNetCloneProgram::handle_response(wire::Packet& pkt,
                                          pisa::PacketMetadata& md,
                                          pisa::PipelinePass& pass) {
   wire::NetCloneHeader& nc = pkt.nc();
+  if (!chain_member_) {
+    // Stale in-flight traffic around a crash/rejoin: a non-member must
+    // not touch replicated state or enact verdicts — the controller
+    // resyncs it before re-admission.
+    ++stats_.non_member_response_drops;
+    md.drop = true;
+    return;
+  }
   ++stats_.responses;
 
   // Every replica applies the identical write in chain order, so the
@@ -254,11 +270,12 @@ void AggNetCloneProgram::handle_response(wire::Packet& pkt,
     }
   }
 
-  if (!role_.is_tail()) {
+  if (chain_next_) {
     // Upstream replicas relay everything — the verdict is only enacted
-    // once, at the tail, so exactly-once stays a single switch's call.
+    // once, at the live tail, so exactly-once stays a single switch's
+    // call even while fail-over reshapes the chain.
     ++stats_.chain_forwards;
-    md.egress_port = *role_.chain_next_port;
+    md.egress_port = *chain_next_;
     return;
   }
   if (duplicate) {
@@ -267,6 +284,94 @@ void AggNetCloneProgram::handle_response(wire::Packet& pkt,
     return;
   }
   l3_forward(pkt, md, pass);
+}
+
+void AggNetCloneProgram::handle_chain_sync(wire::Packet& pkt,
+                                           pisa::PacketMetadata& md) {
+  wire::NetCloneHeader& nc = pkt.nc();
+  ++stats_.chain_sync_markers;
+  NETCLONE_CHECK(sync_hub_ != nullptr,
+                 "chain sync marker reached a replica without a sync hub");
+  AggChainSyncRecord* record = sync_hub_->find(nc.req_id);
+  NETCLONE_CHECK(record != nullptr,
+                 "chain sync marker names an unknown sync record");
+  if (!record->filled) {
+    // First replica on the marker's walk: the snapshot cut. Everything
+    // this replica applied before the marker is in the snapshot; every
+    // later update follows the marker down the same FIFO links — the
+    // sequenced delta stream downstream replicas replay after install.
+    fill_sync_record(*record);
+    if (record->filler_next_port) {
+      // Admit: the old tail adopts the rejoiner as its successor in the
+      // marker's own pipeline pass, so the marker is the FIRST frame on
+      // the new link and every forwarded response rides behind it.
+      chain_next_ = record->filler_next_port;
+    }
+    if (nc.req_id > last_sync_gen_) {
+      last_sync_gen_ = nc.req_id;  // own state IS this snapshot
+    }
+  } else if (nc.req_id <= last_sync_gen_) {
+    // Already absorbed a sync at least this fresh — installing would
+    // clobber newer state with an older cut.
+    ++stats_.chain_sync_stale;
+  } else {
+    install_sync_record(*record);
+    last_sync_gen_ = nc.req_id;
+    if (record->admit_target == role_.replica_index) {
+      // Rejoin complete: become the tail. The delta stream queued behind
+      // the marker replays, in chain order, everything the snapshot
+      // missed.
+      chain_member_ = true;
+      chain_next_ = std::nullopt;
+      ++stats_.chain_sync_consumed;
+      md.drop = true;
+      return;
+    }
+  }
+  if (chain_next_) {
+    md.egress_port = *chain_next_;
+    return;
+  }
+  ++stats_.chain_sync_consumed;
+  md.drop = true;
+}
+
+void AggNetCloneProgram::fill_sync_record(AggChainSyncRecord& record) {
+  ++stats_.chain_sync_snapshots_filled;
+  record.state.resize(config_.max_servers);
+  record.shadow.resize(config_.max_servers);
+  for (std::size_t i = 0; i < config_.max_servers; ++i) {
+    record.state[i] = state_table_.peek(i);
+    record.shadow[i] = shadow_table_.peek(i);
+  }
+  record.filters.resize(filter_tables_.size());
+  for (std::size_t t = 0; t < filter_tables_.size(); ++t) {
+    record.filters[t].resize(config_.filter_slots);
+    for (std::size_t slot = 0; slot < config_.filter_slots; ++slot) {
+      record.filters[t][slot] = filter_tables_[t]->peek(slot);
+    }
+  }
+  record.filled = true;
+}
+
+void AggNetCloneProgram::install_sync_record(
+    const AggChainSyncRecord& record) {
+  ++stats_.chain_sync_installs;
+  NETCLONE_CHECK(record.state.size() == config_.max_servers &&
+                     record.filters.size() == filter_tables_.size(),
+                 "sync record shape does not match this replica's tables");
+  for (std::size_t i = 0; i < config_.max_servers; ++i) {
+    state_table_.poke_write(i, record.state[i]);
+    shadow_table_.poke_write(i, record.shadow[i]);
+  }
+  for (std::size_t t = 0; t < filter_tables_.size(); ++t) {
+    for (std::size_t slot = 0; slot < config_.filter_slots; ++slot) {
+      filter_tables_[t]->poke_write(slot, record.filters[t][slot]);
+      if (record.filters[t][slot] != 0) {
+        ++stats_.chain_sync_fingerprints_adopted;
+      }
+    }
+  }
 }
 
 void AggNetCloneProgram::l3_forward(const wire::Packet& pkt,
@@ -309,6 +414,16 @@ std::uint32_t AggNetCloneProgram::peek_filter_slot(std::size_t table,
                                                    std::size_t slot) const {
   NETCLONE_CHECK(table < filter_tables_.size(), "filter table out of range");
   return filter_tables_[table]->peek(slot);
+}
+
+std::uint64_t AggNetCloneProgram::filter_occupancy() const {
+  std::uint64_t occupied = 0;
+  for (const auto& table : filter_tables_) {
+    for (std::size_t slot = 0; slot < config_.filter_slots; ++slot) {
+      occupied += table->peek(slot) != 0 ? 1 : 0;
+    }
+  }
+  return occupied;
 }
 
 }  // namespace netclone::core

@@ -39,9 +39,11 @@
 
 namespace netclone::core {
 
-/// Where this replica sits in the chain. A single-agg tier is a chain of
-/// length one: the replica is head and tail at once and enacts its own
-/// verdicts locally.
+/// Where this replica sits in the chain AT BUILD TIME. A single-agg tier
+/// is a chain of length one: the replica is head and tail at once and
+/// enacts its own verdicts locally. Fail-over mutates the live chain
+/// through the program's set_chain_next()/set_chain_member() hooks; this
+/// struct only seeds the initial shape.
 struct AggChainRole {
   std::size_t replica_index = 0;
   std::size_t chain_length = 1;
@@ -53,6 +55,49 @@ struct AggChainRole {
   [[nodiscard]] bool is_tail() const {
     return replica_index + 1 == chain_length;
   }
+};
+
+/// One chain resync operation, shared between the filler (the replica
+/// that snapshots its soft state) and the installers downstream. The
+/// marker packet carries only the sync id; the snapshot payload rides
+/// out-of-band in the hub — the modeled control-plane channel (real
+/// NetChain ships it over the network; we keep the CUT POINTS in band,
+/// which is what correctness depends on, and the bytes out of band).
+struct AggChainSyncRecord {
+  std::uint32_t sync_id = 0;
+  /// Admit markers only: the chain_next the filler adopts when it fills
+  /// the record — the old tail starts forwarding toward the rejoiner.
+  std::optional<std::size_t> filler_next_port{};
+  /// Admit markers only: the replica that installs the snapshot, takes
+  /// over the tail role, and consumes the marker.
+  std::optional<std::size_t> admit_target{};
+  bool filled = false;
+  std::vector<std::uint16_t> state;
+  std::vector<std::uint16_t> shadow;
+  std::vector<std::vector<std::uint32_t>> filters;
+};
+
+/// Shard-0-confined store of sync records, shared by the controller and
+/// every replica program. Lookup is linear: a run carries a handful of
+/// records, never thousands.
+class AggChainSyncHub {
+ public:
+  AggChainSyncRecord& create(std::uint32_t sync_id) {
+    AggChainSyncRecord record;
+    record.sync_id = sync_id;
+    return records_.emplace_back(std::move(record));
+  }
+  [[nodiscard]] AggChainSyncRecord* find(std::uint32_t sync_id) {
+    for (auto& record : records_) {
+      if (record.sync_id == sync_id) {
+        return &record;
+      }
+    }
+    return nullptr;
+  }
+
+ private:
+  std::vector<AggChainSyncRecord> records_;
 };
 
 struct AggNetCloneStats {
@@ -71,6 +116,26 @@ struct AggNetCloneStats {
   /// Packets stamped by another tier/ToR — routed, not processed.
   std::uint64_t foreign_packets = 0;
   std::uint64_t missing_route_drops = 0;
+  /// kChainSync markers this replica processed (fill, install, or relay).
+  std::uint64_t chain_sync_markers = 0;
+  /// Markers for which this replica was the filler (snapshotted its own
+  /// soft state into the hub record).
+  std::uint64_t chain_sync_snapshots_filled = 0;
+  /// Snapshots this replica installed over its own tables.
+  std::uint64_t chain_sync_installs = 0;
+  /// Stale markers skipped by the generation guard (sync id not newer
+  /// than the last installed one).
+  std::uint64_t chain_sync_stale = 0;
+  /// Markers consumed here (end of the marker's chain walk).
+  std::uint64_t chain_sync_consumed = 0;
+  /// Non-zero filter cells this replica adopted from installed snapshots
+  /// (fingerprints it may later hit without having stored them itself —
+  /// the auditor widens its hit bound by exactly this much).
+  std::uint64_t chain_sync_fingerprints_adopted = 0;
+  /// Responses that arrived while this replica was NOT an admitted chain
+  /// member (stale in-flight traffic around a crash/rejoin) — dropped
+  /// without touching soft state.
+  std::uint64_t non_member_response_drops = 0;
 };
 
 class AggNetCloneProgram final : public pisa::SwitchProgram {
@@ -93,6 +158,33 @@ class AggNetCloneProgram final : public pisa::SwitchProgram {
   /// Plain route (clients — via their rack trunk).
   void add_route(wire::Ipv4Address ip, std::size_t port);
 
+  // -- chain fail-over control plane --------------------------------------
+
+  /// Hands the replica the tier's shared sync-record store. Required
+  /// before any kChainSync marker can be processed.
+  void set_sync_hub(std::shared_ptr<AggChainSyncHub> hub) {
+    sync_hub_ = std::move(hub);
+  }
+  /// Splices the live chain: nullopt makes this replica the tail (it
+  /// starts enacting verdicts), a port makes it forward responses there.
+  void set_chain_next(std::optional<std::size_t> port) {
+    chain_next_ = port;
+  }
+  /// Membership flag: a crashed/not-yet-readmitted replica still routes
+  /// requests (zeroed state just clones aggressively) but must not apply
+  /// chain responses or enact verdicts.
+  void set_chain_member(bool member) { chain_member_ = member; }
+
+  [[nodiscard]] bool chain_member() const { return chain_member_; }
+  [[nodiscard]] std::optional<std::size_t> chain_next() const {
+    return chain_next_;
+  }
+  /// Live tail test — the verdict authority. Distinct from
+  /// role().is_tail(), which is the build-time shape.
+  [[nodiscard]] bool is_chain_tail() const {
+    return chain_member_ && !chain_next_.has_value();
+  }
+
   // -- data plane ---------------------------------------------------------
 
   void on_ingress(wire::Packet& pkt, pisa::PacketMetadata& md,
@@ -111,6 +203,9 @@ class AggNetCloneProgram final : public pisa::SwitchProgram {
   [[nodiscard]] std::uint16_t peek_state(ServerId sid) const;
   [[nodiscard]] std::uint32_t peek_filter_slot(std::size_t table,
                                                std::size_t slot) const;
+  /// Count of non-zero filter cells — the auditor's bounded-filter-table
+  /// check on a rejoined replica.
+  [[nodiscard]] std::uint64_t filter_occupancy() const;
 
  private:
   struct AddrEntry {
@@ -122,6 +217,9 @@ class AggNetCloneProgram final : public pisa::SwitchProgram {
                       pisa::PipelinePass& pass);
   void handle_response(wire::Packet& pkt, pisa::PacketMetadata& md,
                        pisa::PipelinePass& pass);
+  void handle_chain_sync(wire::Packet& pkt, pisa::PacketMetadata& md);
+  void fill_sync_record(AggChainSyncRecord& record);
+  void install_sync_record(const AggChainSyncRecord& record);
   void l3_forward(const wire::Packet& pkt, pisa::PacketMetadata& md,
                   pisa::PipelinePass& pass);
 
@@ -136,6 +234,15 @@ class AggNetCloneProgram final : public pisa::SwitchProgram {
   std::vector<std::unique_ptr<pisa::RegisterArray<std::uint32_t>>>
       filter_tables_;
   pisa::ExactMatchTable<std::size_t> fwd_table_;
+
+  // Live chain shape (seeded from role_, mutated by the controller).
+  std::optional<std::size_t> chain_next_;
+  bool chain_member_ = true;
+  /// Generation guard: the highest sync id already installed. A marker
+  /// whose id is not newer is stale (a relay of an operation this replica
+  /// already absorbed) and must not clobber fresher state.
+  std::uint32_t last_sync_gen_ = 0;
+  std::shared_ptr<AggChainSyncHub> sync_hub_;
 
   AggNetCloneStats stats_;
 };

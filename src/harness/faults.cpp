@@ -100,7 +100,27 @@ constexpr ActionSpec kActions[] = {
     {"switch_recover", FaultAction::kSwitchRecover, 0},
     {"switch_wipe", FaultAction::kSwitchWipe, 0},
     {"filter_stale", FaultAction::kFilterStale, 2},
+    {"agg_fail", FaultAction::kAggFail, 0},
+    {"agg_rejoin", FaultAction::kAggRejoin, 0},
+    {"rack_down", FaultAction::kRackDown, 0},
+    {"rack_up", FaultAction::kRackUp, 0},
 };
+
+/// `agg_fail agg1` / `rack_down rack0`: the target must be the expected
+/// prefix followed by a decimal index, so a typo fails at parse time
+/// with the key named, not at fire time deep in the harness.
+void check_indexed_target(const std::string& line, const char* action,
+                          const std::string& target, const char* prefix) {
+  const std::string want(prefix);
+  bool ok = target.size() > want.size() && target.rfind(want, 0) == 0;
+  for (std::size_t i = want.size(); ok && i < target.size(); ++i) {
+    ok = std::isdigit(static_cast<unsigned char>(target[i])) != 0;
+  }
+  if (!ok) {
+    fail(line, std::string("action '") + action + "' needs a '" + prefix +
+                   "<N>' target, got '" + target + "'");
+  }
+}
 
 }  // namespace
 
@@ -146,6 +166,15 @@ FaultEvent parse_fault_entry(const std::string& line) {
                    " operand(s) after the target");
   }
 
+  if (spec->action == FaultAction::kAggFail ||
+      spec->action == FaultAction::kAggRejoin) {
+    check_indexed_target(line, spec->name, ev.target, "agg");
+  }
+  if (spec->action == FaultAction::kRackDown ||
+      spec->action == FaultAction::kRackUp) {
+    check_indexed_target(line, spec->name, ev.target, "rack");
+  }
+
   if (spec->action == FaultAction::kFilterStale) {
     const double table = parse_number(line, tokens[3]);
     const double req_id = parse_number(line, tokens[4]);
@@ -164,6 +193,36 @@ FaultEvent parse_fault_entry(const std::string& line) {
     }
   }
   return ev;
+}
+
+FaultPlan parse_fault_plan(const std::string& text,
+                           const std::string& source) {
+  FaultPlan plan;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) {
+      line.erase(hash);
+    }
+    const std::size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) {
+      continue;
+    }
+    const std::size_t last = line.find_last_not_of(" \t\r");
+    const std::string entry = line.substr(first, last - first + 1);
+    try {
+      plan.events.push_back(parse_fault_entry(entry));
+    } catch (const FaultPlanError& err) {
+      const std::string where =
+          (source.empty() ? std::string{} : source + ": ") + "line " +
+          std::to_string(line_no) + ": ";
+      throw FaultPlanError(where + err.what());
+    }
+  }
+  return plan;
 }
 
 }  // namespace netclone::harness

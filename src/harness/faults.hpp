@@ -16,6 +16,23 @@
 // `<src>-<dst>` for the directed src→dst link. Experiment resolves the
 // names and schedules every entry through the Scheduler, so fault
 // firing obeys the same deterministic event order as everything else.
+//
+// Multi-rack plans address fat-tree entities through the same grammar
+// (MultiRackExperiment resolves them): switches `tor1` (client ToR),
+// `tor2`.. (server-rack ToRs), `agg0`.. (chain replicas); links by
+// endpoint pair (`tor1-agg0`, `agg0-agg1`, `tor2-s0`); whole racks via
+//
+//     at=2ms  rack_down  rack0          # every trunk of server rack 0
+//     at=4ms  rack_up    rack0
+//
+// and the managed chain fail-over pair
+//
+//     at=2ms  agg_fail    agg1          # crash + chain splice + resync
+//     at=5ms  agg_rejoin  agg1          # recover + snapshot + re-admit
+//
+// agg_fail/agg_rejoin are schedule-managed: installing the plan expands
+// each into the crash/recover barrier plus the delayed reconcile-marker
+// and spray-readmission events.
 #pragma once
 
 #include <stdexcept>
@@ -54,6 +71,12 @@ enum class FaultAction {
   kSwitchRecover,
   kSwitchWipe,
   kFilterStale,
+  // harness/multirack: managed chain-replica fail-over (crash + splice +
+  // resync + re-admission) and administrative rack isolation.
+  kAggFail,
+  kAggRejoin,
+  kRackDown,
+  kRackUp,
 };
 
 [[nodiscard]] const char* fault_action_name(FaultAction action);
@@ -79,5 +102,12 @@ struct FaultPlan {
 /// Parses one timed entry (`at=<time><unit> <action> <target> [args]`).
 /// Accepted time units: ns, us, ms, s.
 [[nodiscard]] FaultEvent parse_fault_entry(const std::string& line);
+
+/// Parses a whole plan: one entry per line, `#` comments and blank lines
+/// allowed. Errors carry `<source>: line <N>:` diagnostics (the source
+/// prefix is omitted when `source` is empty) in front of the offending
+/// entry and key, matching the scenario parser's file/line/key style.
+[[nodiscard]] FaultPlan parse_fault_plan(const std::string& text,
+                                         const std::string& source = "");
 
 }  // namespace netclone::harness

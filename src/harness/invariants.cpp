@@ -227,6 +227,13 @@ void fold_agg_netclone(Fold& fold, const core::AggNetCloneStats& ps) {
   fold(ps.chain_forwards);
   fold(ps.foreign_packets);
   fold(ps.missing_route_drops);
+  fold(ps.chain_sync_markers);
+  fold(ps.chain_sync_snapshots_filled);
+  fold(ps.chain_sync_installs);
+  fold(ps.chain_sync_stale);
+  fold(ps.chain_sync_consumed);
+  fold(ps.non_member_response_drops);
+  fold(ps.chain_sync_fingerprints_adopted);
 }
 
 /// True when every link has delivered everything it accepted and no
@@ -296,9 +303,12 @@ InvariantReport audit_invariants(const MultiRackExperiment& exp) {
       const core::AggNetCloneStats& ps =
           exp.agg_netclone_program(a).stats();
       // Every replica computes verdicts; only the tail enacts them, so
-      // the replica-local bound is on hits, the tail bound on drops.
+      // the replica-local bound is on hits, the tail bound on drops. A
+      // resynced replica may hit fingerprints it adopted from a snapshot
+      // rather than stored itself — the bound widens by exactly those.
       audit_filter(report, "agg" + std::to_string(a), ps.filter_hits,
-                   ps.fingerprints_stored, 0);
+                   ps.fingerprints_stored,
+                   ps.chain_sync_fingerprints_adopted);
       check(report, ps.filtered_responses > ps.filter_hits,
             "agg" + std::to_string(a) + ": filtered_responses " +
                 u64(ps.filtered_responses) + " exceeds filter_hits " +
@@ -307,38 +317,106 @@ InvariantReport audit_invariants(const MultiRackExperiment& exp) {
   }
 
   // Replica convergence: once the fabric is quiet and lossless, the
-  // chain must have driven every replica to the same soft-state image
-  // (NetChain's state-machine-replication contract) after applying the
-  // same number of responses.
+  // chain must have driven every ADMITTED member to the same soft-state
+  // image (NetChain's state-machine-replication contract). Failure
+  // debris (frames dropped at or flushed inside a dead replica) is
+  // legitimate exactly where the fault plan killed one — ctrl->fails_of
+  // says where; any other switch must be spotless, and a mid-run
+  // register wipe always voids the comparison (the wiped image is
+  // legitimately different).
   if (replicated && exp.num_aggs() > 1 &&
       fabric_quiesced_clean(exp.links())) {
+    const ChainController* ctrl = exp.chain_controller();
     bool switches_clean = true;
     for (const auto& [name, device] : exp.switches()) {
       const pisa::SwitchStats& sw = device->stats();
-      if (sw.soft_state_wipes != 0 || sw.dropped_while_failed != 0 ||
-          sw.flushed_in_pipeline != 0) {
+      if (sw.soft_state_wipes != 0) {
         switches_clean = false;
+        break;
+      }
+      if (sw.dropped_while_failed == 0 && sw.flushed_in_pipeline == 0) {
+        continue;
+      }
+      const bool failed_agg =
+          ctrl != nullptr && name.compare(0, 3, "agg") == 0 &&
+          name.size() > 3 &&
+          ctrl->fails_of(static_cast<std::size_t>(
+              std::stoul(name.substr(3)))) > 0;
+      if (!failed_agg) {
+        switches_clean = false;
+        break;
       }
     }
-    if (switches_clean) {
-      const core::AggNetCloneStats& head =
-          exp.agg_netclone_program(0).stats();
-      const std::uint64_t head_digest =
-          exp.agg_netclone_program(0).soft_state_digest();
-      for (std::size_t a = 1; a < exp.num_aggs(); ++a) {
-        const core::AggNetCloneStats& ps =
-            exp.agg_netclone_program(a).stats();
-        check(report, ps.responses != head.responses,
-              "replica agg" + std::to_string(a) + ": applied " +
-                  u64(ps.responses) + " responses but the head applied " +
-                  u64(head.responses) +
-                  " (a response skipped part of the chain)");
-        check(report,
-              exp.agg_netclone_program(a).soft_state_digest() !=
-                  head_digest,
-              "replica agg" + std::to_string(a) +
-                  ": soft-state digest diverges from the head after a "
-                  "clean quiesce (chain replication broke)");
+    if (switches_clean && (ctrl == nullptr || ctrl->quiescent())) {
+      std::vector<std::size_t> members;
+      if (ctrl != nullptr) {
+        members = ctrl->admitted_members();
+      } else {
+        for (std::size_t a = 0; a < exp.num_aggs(); ++a) {
+          members.push_back(a);
+        }
+      }
+      // Chain reshaping makes per-replica response COUNTS legitimately
+      // unequal (a late joiner missed the early stream; survivors saw
+      // frames that died with a corpse) — the exact-count check only
+      // holds on a structurally untouched chain. The digest check is
+      // unconditional: resync + delta replay must still converge the
+      // soft-state IMAGE.
+      const bool untouched =
+          ctrl == nullptr || ctrl->structural_changes() == 0;
+      if (!members.empty()) {
+        const std::size_t lead = members.front();
+        const core::AggNetCloneStats& head =
+            exp.agg_netclone_program(lead).stats();
+        const std::uint64_t head_digest =
+            exp.agg_netclone_program(lead).soft_state_digest();
+        const std::uint64_t head_occupancy =
+            exp.agg_netclone_program(lead).filter_occupancy();
+        for (std::size_t i = 1; i < members.size(); ++i) {
+          const std::size_t a = members[i];
+          const core::AggNetCloneStats& ps =
+              exp.agg_netclone_program(a).stats();
+          if (untouched) {
+            check(report, ps.responses != head.responses,
+                  "replica agg" + std::to_string(a) + ": applied " +
+                      u64(ps.responses) +
+                      " responses but the head applied " +
+                      u64(head.responses) +
+                      " (a response skipped part of the chain)");
+          }
+          check(report,
+                exp.agg_netclone_program(a).soft_state_digest() !=
+                    head_digest,
+                "replica agg" + std::to_string(a) +
+                    ": soft-state digest diverges from the head after a "
+                    "clean quiesce (chain replication broke)");
+          check(report,
+                exp.agg_netclone_program(a).filter_occupancy() !=
+                    head_occupancy,
+                "replica agg" + std::to_string(a) +
+                    ": filter occupancy " +
+                    u64(exp.agg_netclone_program(a).filter_occupancy()) +
+                    " != head occupancy " + u64(head_occupancy) +
+                    " after a clean quiesce");
+        }
+        // Bounded filter tables on every member (notably a rejoined
+        // node): live fingerprints cannot exceed what the whole tier
+        // ever stored — a resync must copy state, not invent it.
+        std::uint64_t tier_stored = 0;
+        for (std::size_t a = 0; a < exp.num_aggs(); ++a) {
+          tier_stored += exp.agg_netclone_program(a).stats()
+                             .fingerprints_stored;
+        }
+        for (const std::size_t a : members) {
+          const std::uint64_t occupancy =
+              exp.agg_netclone_program(a).filter_occupancy();
+          check(report, occupancy > tier_stored,
+                "replica agg" + std::to_string(a) +
+                    ": filter occupancy " + u64(occupancy) +
+                    " exceeds the " + u64(tier_stored) +
+                    " fingerprints ever stored tier-wide (a resync "
+                    "invented filter state)");
+        }
       }
     }
   }

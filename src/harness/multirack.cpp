@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "common/hash.hpp"
 #include "core/groups.hpp"
 
 namespace netclone::harness {
@@ -18,6 +19,16 @@ std::string indexed_name(const char* prefix, std::size_t index) {
   std::string name(prefix);
   name += std::to_string(index);
   return name;
+}
+
+/// `agg3` -> 3, `rack0` -> 0. Grammar validation happens at parse time;
+/// this only re-extracts the index at resolve time.
+std::size_t indexed_target(const std::string& target, const char* prefix) {
+  const std::size_t len = std::string(prefix).size();
+  NETCLONE_CHECK(target.size() > len && target.rfind(prefix, 0) == 0,
+                 "bad fault target '" + target + "' (expected " + prefix +
+                     "<N>)");
+  return static_cast<std::size_t>(std::stoul(target.substr(len)));
 }
 
 }  // namespace
@@ -194,19 +205,29 @@ void MultiRackExperiment::build() {
     for (const phys::DuplexPorts& trunk : client_trunks) {
       uplinks.push_back(trunk.port_on_a);
     }
+    spray_uplink_ports_ = uplinks;
     client_router_program_->add_ecmp_prefix(host::service_vip(), 32,
                                             uplinks);
   }
 
-  // Chain links between consecutive replicas (dedicated FIFO hops the
-  // head->tail response stream rides on).
-  std::vector<std::optional<std::size_t>> chain_next(config_.num_aggs);
+  // Chain links between the replicas (dedicated FIFO hops the head->tail
+  // response stream rides on). A full mesh, not just consecutive hops:
+  // fail-over may splice any replica next to any other, and a rejoiner
+  // is appended behind whichever replica is the tail by then. The lower-
+  // indexed pairs come first, so the 2-agg pod's link order (and its
+  // pinned digests) is unchanged.
+  chain_ports_.assign(config_.num_aggs,
+                      std::vector<std::optional<std::size_t>>(
+                          config_.num_aggs));
   if (replicated) {
-    for (std::size_t a = 0; a + 1 < config_.num_aggs; ++a) {
-      const phys::DuplexPorts hop =
-          connect_nodes(*aggs_[a], 0, *aggs_[a + 1], 0, config_.trunk_link);
-      record_link(indexed_name("agg", a), indexed_name("agg", a + 1), hop);
-      chain_next[a] = hop.port_on_a;
+    for (std::size_t i = 0; i < config_.num_aggs; ++i) {
+      for (std::size_t j = i + 1; j < config_.num_aggs; ++j) {
+        const phys::DuplexPorts hop =
+            connect_nodes(*aggs_[i], 0, *aggs_[j], 0, config_.trunk_link);
+        record_link(indexed_name("agg", i), indexed_name("agg", j), hop);
+        chain_ports_[i][j] = hop.port_on_a;
+        chain_ports_[j][i] = hop.port_on_b;
+      }
     }
   }
 
@@ -215,13 +236,17 @@ void MultiRackExperiment::build() {
   if (replicated) {
     core::NetCloneConfig tier_cfg = nc;
     tier_cfg.switch_id = kAggTierSwitchId;
+    sync_hub_ = std::make_shared<core::AggChainSyncHub>();
     for (std::size_t a = 0; a < config_.num_aggs; ++a) {
       core::AggChainRole role;
       role.replica_index = a;
       role.chain_length = config_.num_aggs;
-      role.chain_next_port = chain_next[a];
+      if (a + 1 < config_.num_aggs) {
+        role.chain_next_port = chain_ports_[a][a + 1];
+      }
       auto program = std::make_shared<core::AggNetCloneProgram>(
           aggs_[a]->pipeline(), tier_cfg, role);
+      program->set_sync_hub(sync_hub_);
       aggs_[a]->load_program(program);
       agg_netclone_programs_.push_back(std::move(program));
     }
@@ -266,6 +291,11 @@ void MultiRackExperiment::build() {
       trunks.push_back(trunk);
     }
     rack_trunks.push_back(trunks);
+    std::vector<std::size_t> uplink_ports;
+    for (const phys::DuplexPorts& trunk : trunks) {
+      uplink_ports.push_back(trunk.port_on_a);
+    }
+    rack_uplink_ports_.push_back(std::move(uplink_ports));
 
     for (std::size_t i = 0; i < config_.servers_per_rack; ++i, ++sid) {
       host::ServerParams sp = config_.server_template;
@@ -341,6 +371,7 @@ void MultiRackExperiment::build() {
                       client_rack_shard, config_.host_link);
     record_link(indexed_name("c", c), "tor1", ports);
     const wire::Ipv4Address ip = host::client_ip(cp.client_id);
+    client_ips_.push_back(ip);
     clients_.push_back(&client);
 
     if (replicated) {
@@ -364,6 +395,211 @@ void MultiRackExperiment::build() {
             ip, rack_trunks[rack][c % config_.num_aggs].port_on_a);
       }
     }
+  }
+
+  // -- fail-over controller + fault plan ----------------------------------
+  if (replicated) {
+    std::vector<ChainReplica> replicas;
+    for (std::size_t a = 0; a < config_.num_aggs; ++a) {
+      replicas.push_back(
+          ChainReplica{aggs_[a], agg_netclone_programs_[a].get()});
+    }
+    chain_controller_ = std::make_unique<ChainController>(
+        std::move(replicas), chain_ports_, sync_hub_,
+        [this](const std::vector<std::size_t>& members) {
+          // ECMP spray set = live chain members, ascending; the LPM
+          // insert overwrites the previous next-hop set in place.
+          std::vector<std::size_t> ports;
+          for (const std::size_t a : members) {
+            ports.push_back(spray_uplink_ports_[a]);
+          }
+          client_router_program_->add_ecmp_prefix(host::service_vip(), 32,
+                                                  ports);
+        },
+        [this](std::size_t new_head) {
+          // Responses must enter the chain at the new head: re-point the
+          // rack ToRs' client routes at its trunk.
+          for (std::size_t rack = 0; rack < config_.server_racks; ++rack) {
+            for (const wire::Ipv4Address ip : client_ips_) {
+              server_tor_programs_[rack]->add_route(
+                  ip, rack_uplink_ports_[rack][new_head]);
+            }
+          }
+        });
+  }
+  install_fault_plan(config_.faults);
+}
+
+std::uint64_t MultiRackExperiment::impairment_seed(
+    const std::string& name) const {
+  return mix64(config_.seed ^ fnv1a(std::string_view{name}));
+}
+
+void MultiRackExperiment::install_fault_plan(const FaultPlan& plan) {
+  for (const FaultEvent& event : plan.events) {
+    switch (event.action) {
+      case FaultAction::kAggFail: {
+        NETCLONE_CHECK(chain_controller_ != nullptr,
+                       "agg_fail needs the replicated aggregation tier");
+        const std::size_t a = indexed_target(event.target, "agg");
+        NETCLONE_CHECK(a < config_.num_aggs,
+                       "agg_fail target out of range: " + event.target);
+        // Barrier: crash + splice + spray/route updates. Shard-0 event a
+        // little later: the reconcile marker (it allocates a frame, so
+        // it must run with shard 0's pool bound, not at a barrier).
+        scheduler().schedule_at(
+            event.at, [this, a] { chain_controller_->fail_replica(a); });
+        engine_->shard_scheduler(0).schedule_at(
+            event.at + config_.chain_sync_delay,
+            [this, a] { chain_controller_->reconcile_after_fail(a); });
+        break;
+      }
+      case FaultAction::kAggRejoin: {
+        NETCLONE_CHECK(chain_controller_ != nullptr,
+                       "agg_rejoin needs the replicated aggregation tier");
+        const std::size_t a = indexed_target(event.target, "agg");
+        NETCLONE_CHECK(a < config_.num_aggs,
+                       "agg_rejoin target out of range: " + event.target);
+        // Same-instant pair: the barrier (recover + bookkeeping) fires
+        // before the shard-0 marker injection in both engines — that is
+        // the barrier scheduler's ordering contract, and in the legacy
+        // engine it follows from install order.
+        scheduler().schedule_at(
+            event.at, [this, a] { chain_controller_->rejoin_replica(a); });
+        engine_->shard_scheduler(0).schedule_at(event.at, [this, a] {
+          chain_controller_->inject_admit_marker(a);
+        });
+        scheduler().schedule_at(
+            event.at + config_.chain_readmit_delay,
+            [this, a] { chain_controller_->readmit_spray(a); });
+        break;
+      }
+      default:
+        scheduler().schedule_at(event.at,
+                                [this, event] { apply_fault(event); });
+        break;
+    }
+  }
+}
+
+void MultiRackExperiment::apply_fault(const FaultEvent& event) {
+  const auto parse_server = [this](const std::string& target) {
+    NETCLONE_CHECK(target.size() >= 2 && target[0] == 's',
+                   "bad server target: " + target);
+    const std::size_t index =
+        static_cast<std::size_t>(std::stoul(target.substr(1)));
+    NETCLONE_CHECK(index < servers_.size(),
+                   "server target out of range: " + target);
+    return servers_[index];
+  };
+  const auto target_link = [this](const std::string& target) {
+    phys::Link* l = link(target);
+    NETCLONE_CHECK(l != nullptr, "unknown link target: " + target);
+    return l;
+  };
+  const auto merge_rate = [&](auto member) {
+    phys::Link* l = target_link(event.target);
+    phys::LinkImpairments cfg = l->impairments() != nullptr
+                                    ? *l->impairments()
+                                    : phys::LinkImpairments{};
+    cfg.*member = event.value;
+    l->configure_impairments(cfg, impairment_seed(event.target));
+  };
+  const auto target_switch =
+      [this](const std::string& target) -> pisa::SwitchDevice* {
+    for (const auto& [name, device] : switches_) {
+      if (name == target) {
+        return device;
+      }
+    }
+    NETCLONE_CHECK(false, "unknown switch target: " + target);
+    return nullptr;
+  };
+  const auto set_rack_trunks = [&](bool up) {
+    const std::size_t rack = indexed_target(event.target, "rack");
+    NETCLONE_CHECK(rack < config_.server_racks,
+                   "rack target out of range: " + event.target);
+    const std::string tor = indexed_name("tor", rack + 2);
+    for (std::size_t a = 0; a < config_.num_aggs; ++a) {
+      const std::string agg = indexed_name("agg", a);
+      target_link(tor + "-" + agg)->set_up(up);
+      target_link(agg + "-" + tor)->set_up(up);
+    }
+  };
+
+  switch (event.action) {
+    case FaultAction::kLinkDown:
+      target_link(event.target)->set_up(false);
+      break;
+    case FaultAction::kLinkUp:
+      target_link(event.target)->set_up(true);
+      break;
+    case FaultAction::kDropRate:
+      merge_rate(&phys::LinkImpairments::drop_rate);
+      break;
+    case FaultAction::kCorruptRate:
+      merge_rate(&phys::LinkImpairments::corrupt_rate);
+      break;
+    case FaultAction::kReorderRate:
+      merge_rate(&phys::LinkImpairments::reorder_rate);
+      break;
+    case FaultAction::kDuplicateRate:
+      merge_rate(&phys::LinkImpairments::duplicate_rate);
+      break;
+    case FaultAction::kServerCrash:
+      parse_server(event.target)->crash();
+      break;
+    case FaultAction::kServerRestart:
+      parse_server(event.target)->restart();
+      break;
+    case FaultAction::kServerPause:
+      parse_server(event.target)->pause();
+      break;
+    case FaultAction::kServerResume:
+      parse_server(event.target)->resume();
+      break;
+    case FaultAction::kServerSlowdown:
+      parse_server(event.target)->set_slowdown(event.value);
+      break;
+    case FaultAction::kSwitchFail:
+      target_switch(event.target)->fail();
+      break;
+    case FaultAction::kSwitchRecover:
+      target_switch(event.target)->recover();
+      break;
+    case FaultAction::kSwitchWipe:
+      target_switch(event.target)->wipe_soft_state();
+      break;
+    case FaultAction::kFilterStale: {
+      // Stale entries are planted in NetClone ToR programs: the client
+      // ToR in kOblivious mode ('tor1') or any server-rack ToR.
+      core::NetCloneProgram* program = nullptr;
+      if (event.target == "tor1") {
+        NETCLONE_CHECK(client_tor_program_ != nullptr,
+                       "filter_stale on tor1 needs kOblivious mode");
+        program = client_tor_program_.get();
+      } else {
+        const std::size_t tor = indexed_target(event.target, "tor");
+        NETCLONE_CHECK(tor >= 2 && tor - 2 < server_tor_programs_.size(),
+                       "unknown ToR target: " + event.target);
+        program = server_tor_programs_[tor - 2].get();
+      }
+      program->inject_stale_filter_entry(
+          event.table, static_cast<std::uint32_t>(event.value));
+      break;
+    }
+    case FaultAction::kRackDown:
+      set_rack_trunks(false);
+      break;
+    case FaultAction::kRackUp:
+      set_rack_trunks(true);
+      break;
+    case FaultAction::kAggFail:
+    case FaultAction::kAggRejoin:
+      NETCLONE_CHECK(false,
+                     "agg_fail/agg_rejoin are schedule-managed — put them "
+                     "in MultiRackConfig::faults");
+      break;
   }
 }
 
@@ -394,13 +630,13 @@ ExperimentResult MultiRackExperiment::run() {
     result.dropped_stale_clones += server->stats().dropped_stale_clones;
   }
   if (config_.agg_mode == AggMode::kReplicated) {
-    // Each clone is decided at exactly one replica; the verdicts are
-    // enacted only at the tail.
+    // Each clone is decided at exactly one replica; verdicts are enacted
+    // only at whichever replica holds the tail role — summing stays
+    // correct as fail-over moves that authority around.
     for (const auto& program : agg_netclone_programs_) {
       result.cloned_requests += program->stats().cloned_requests;
+      result.filtered_responses += program->stats().filtered_responses;
     }
-    result.filtered_responses =
-        agg_netclone_programs_.back()->stats().filtered_responses;
   } else {
     result.cloned_requests = client_tor_program_->stats().cloned_requests;
     result.filtered_responses =
@@ -408,6 +644,26 @@ ExperimentResult MultiRackExperiment::run() {
   }
   result.switch_stats = client_tor_->stats();
   return result;
+}
+
+std::vector<std::uint64_t> MultiRackExperiment::run_timeline(SimTime total,
+                                                             SimTime bin) {
+  NETCLONE_CHECK(bin > SimTime::zero(), "bin must be positive");
+  for (host::Client* client : clients_) {
+    client->start();
+  }
+  std::vector<std::uint64_t> bins;
+  std::uint64_t last_total = 0;
+  for (SimTime t = bin; t <= total; t += bin) {
+    engine_->run_until(t);
+    std::uint64_t now_total = 0;
+    for (const host::Client* client : clients_) {
+      now_total += client->stats().completed;
+    }
+    bins.push_back(now_total - last_total);
+    last_total = now_total;
+  }
+  return bins;
 }
 
 }  // namespace netclone::harness

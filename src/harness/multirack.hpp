@@ -36,8 +36,10 @@
 #include "baselines/agg_router.hpp"
 #include "core/agg_netclone_program.hpp"
 #include "core/netclone_program.hpp"
+#include "harness/chain_controller.hpp"
 #include "harness/engine.hpp"
 #include "harness/experiment.hpp"
+#include "harness/faults.hpp"
 
 namespace netclone::harness {
 
@@ -73,6 +75,20 @@ struct MultiRackConfig {
   /// which also keeps same-instant arrival coincidences between tiers
   /// rare.
   phys::LinkParams trunk_link{100e9, SimTime::nanoseconds(1700), 1024};
+  /// Timed fault plan. Targets resolve against fat-tree names: switches
+  /// `tor1`/`tor2`../`agg0`.., links `tor1-agg0`/`agg0-agg1`/`tor2-s0`,
+  /// servers `s<N>` (global id), racks `rack<N>`, and the managed chain
+  /// pair `agg_fail`/`agg_rejoin` (kReplicated mode only). Installed at
+  /// build time so fault firing shares the deterministic event order.
+  FaultPlan faults{};
+  /// agg_fail: delay between the chain splice and the reconcile marker.
+  /// Must exceed the worst-case residual flight time of a response on a
+  /// chain/trunk link (~10us with the defaults) so the marker's snapshot
+  /// supersedes every frame the splice orphaned.
+  SimTime chain_sync_delay = SimTime::microseconds(50);
+  /// agg_rejoin: delay before the rejoined replica re-enters the client
+  /// ToR's ECMP spray set (the admit marker must have landed by then).
+  SimTime chain_readmit_delay = SimTime::microseconds(50);
   /// Event-queue shards, resolved exactly like ClusterConfig::num_shards
   /// (0 = NETCLONE_SHARDS, unset -> legacy engine).
   std::size_t num_shards = 0;
@@ -92,6 +108,16 @@ class MultiRackExperiment {
   MultiRackExperiment& operator=(const MultiRackExperiment&) = delete;
 
   [[nodiscard]] ExperimentResult run();
+  /// Drives the run in `bin`-sized steps and returns completed requests
+  /// per bin — the bench_fig16-style recovery-time probe. The installed
+  /// fault plan fires on schedule during the walk.
+  [[nodiscard]] std::vector<std::uint64_t> run_timeline(SimTime total,
+                                                        SimTime bin);
+
+  /// Applies one fault immediately (tests / manual drivers). The managed
+  /// agg_fail/agg_rejoin actions must ride the installed plan instead —
+  /// they expand into multiple timed events.
+  void apply_fault(const FaultEvent& event);
 
   // -- programs -----------------------------------------------------------
 
@@ -129,6 +155,10 @@ class MultiRackExperiment {
   switches() const {
     return switches_;
   }
+  /// Fail-over controller (kReplicated mode only; null otherwise).
+  [[nodiscard]] const ChainController* chain_controller() const {
+    return chain_controller_.get();
+  }
 
   // -- engine telemetry (same surface as Experiment) ----------------------
 
@@ -140,6 +170,8 @@ class MultiRackExperiment {
 
  private:
   void build();
+  void install_fault_plan(const FaultPlan& plan);
+  [[nodiscard]] std::uint64_t impairment_seed(const std::string& name) const;
   /// Shard of rack `rack` (0 = client rack, 1..N = server racks).
   [[nodiscard]] std::size_t rack_shard(std::size_t rack) const;
   phys::DuplexPorts connect_nodes(phys::Node& a, std::size_t shard_a,
@@ -171,6 +203,17 @@ class MultiRackExperiment {
   std::vector<std::shared_ptr<core::NetCloneProgram>> server_tor_programs_;
   std::vector<host::Server*> servers_;
   std::vector<host::Client*> clients_;
+  // kReplicated fail-over plumbing: the chain-link port mesh
+  // (chain_ports_[i][j] = agg i's port toward agg j), the client ToR's
+  // uplink ports (ECMP spray members), each rack ToR's uplink port per
+  // agg (response re-pointing), and the client addresses those routes
+  // cover.
+  std::vector<std::vector<std::optional<std::size_t>>> chain_ports_;
+  std::vector<std::size_t> spray_uplink_ports_;
+  std::vector<std::vector<std::size_t>> rack_uplink_ports_;
+  std::vector<wire::Ipv4Address> client_ips_;
+  std::shared_ptr<core::AggChainSyncHub> sync_hub_;
+  std::unique_ptr<ChainController> chain_controller_;
 };
 
 }  // namespace netclone::harness

@@ -301,10 +301,6 @@ Scenario parse_scenario(const std::string& text) {
           "multi-rack scenarios (racks >= 1) support scheme = netclone "
           "only"};
     }
-    if (!scenario.faults.events.empty()) {
-      throw ScenarioError{
-          "'fault' lines target the single-rack harness (racks = 0)"};
-    }
     if (scenario.hotspot_rack.has_value() &&
         *scenario.hotspot_rack >= scenario.racks) {
       throw ScenarioError{"'hotspot_rack' names rack " +
@@ -399,6 +395,7 @@ MultiRackConfig Scenario::build_multirack_config() const {
   cfg.warmup = SimTime::milliseconds(warmup_ms);
   cfg.measure = SimTime::milliseconds(measure_ms);
   cfg.seed = seed;
+  cfg.faults = faults;
   cfg.num_shards = static_cast<std::size_t>(shards);
   make_workload(*this, cfg.factory, cfg.service);
   apply_traffic_shape(*this, cfg.client_template);
@@ -433,6 +430,9 @@ std::vector<SweepPoint> Scenario::run() const {
       cfg.seed = base.seed + 1000 * ++salt;
       MultiRackExperiment experiment{cfg};
       points.push_back(SweepPoint{fraction, experiment.run()});
+      char label[32];
+      std::snprintf(label, sizeof(label), "load %.2f", fraction);
+      print_link_coalescing(label, experiment.links());
     }
   }
   print_series(title + " — " + std::string{scheme_name(scheme)} + " — " +
@@ -487,7 +487,7 @@ title      = scenario
 # skew             = 0      # Zipf exponent over candidate groups
 # hotspot_rack     = 0      # concentrate load on one rack's groups
 # hotspot_share    = 0.5    # share of draws on the hot rack
-# Timed faults (repeatable; single-rack runs). Targets: links c<N>-sw0 /
+# Timed faults (repeatable). Single-rack targets: links c<N>-sw0 /
 # sw0-s<N>, servers s<N>, switch sw0.
 # fault    = at=2s link_down sw0-s3
 # fault    = at=2.5s link_up sw0-s3
@@ -495,6 +495,13 @@ title      = scenario
 # fault    = at=4s server_crash s2
 # fault    = at=4.5s server_restart s2
 # fault    = at=5s switch_wipe sw0
+# Fat-tree targets (racks >= 1): switches tor1/tor2../agg<N>, links
+# tor1-agg0 / agg0-agg1 / tor2-s0, servers s<N> (global id), whole racks
+# rack<N>, and the managed chain fail-over pair (agg_mode = replicated):
+# fault    = at=2ms agg_fail agg1
+# fault    = at=5ms agg_rejoin agg1
+# fault    = at=3ms rack_down rack0
+# fault    = at=4ms rack_up rack0
 )";
 }
 

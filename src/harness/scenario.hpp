@@ -70,7 +70,9 @@ struct Scenario {
   std::string title = "scenario";
   /// Timed fault entries from repeatable `fault =` lines, e.g.
   /// `fault = at=2s link_down sw0-s3`. Parsed (and validated) at
-  /// scenario-parse time. Single-rack runs only.
+  /// scenario-parse time. Single-rack runs resolve sw0/c<N>/s<N> names;
+  /// fat-tree runs (racks >= 1) resolve tor/agg/rack names, including
+  /// the managed `agg_fail`/`agg_rejoin` chain fail-over pair.
   FaultPlan faults{};
 
   // -- multi-rack fat tree (racks >= 1 selects MultiRackExperiment) -------

@@ -211,6 +211,7 @@ void Link::deliver_head() {
       NETCLONE_CHECK(queued_ > 0, "link drop-tail occupancy underflow");
       --queued_;
     }
+    ++stats_.coalesced_frames;
     burst.push_back(next.deliver_at, std::move(next.frame));
   }
   // Rearm before delivering (reentrant transmits, as above).

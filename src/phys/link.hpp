@@ -73,6 +73,11 @@ struct LinkStats {
   std::uint64_t corrupted_frames = 0;
   std::uint64_t duplicated_frames = 0;
   std::uint64_t reordered_frames = 0;
+  /// Burst mode only: frames delivered by riding an earlier frame's
+  /// delivery event (their own event absorbed). Telemetry for the
+  /// tracing layer's per-link coalescing rate — deliberately excluded
+  /// from the chaos digest, since burst on/off must stay bit-identical.
+  std::uint64_t coalesced_frames = 0;
 };
 
 class Link {

@@ -31,6 +31,12 @@ enum class MsgType : std::uint8_t {
   /// bench_ablation_cancel measures that claim). Identified by
   /// CLIENT_ID/CLIENT_SEQ; servers drop the matching queued request.
   kCancel = 4,
+  /// In-band chain resync marker for the replicated aggregation tier
+  /// (NetChain-style fail-over). Injected by the controller at one
+  /// replica's ingress, relayed replica-to-replica over the chain links,
+  /// and consumed inside the tier — it never reaches a ToR or host.
+  /// REQ_ID carries the controller's sync-record id.
+  kChainSync = 5,
 };
 
 /// CLO field values (§3.2).
@@ -78,7 +84,7 @@ struct NetCloneHeader {
     const std::byte* p = r.raw(kSize);
     const std::uint8_t type = load_u8(p, 0);
     if (type < static_cast<std::uint8_t>(MsgType::kRequest) ||
-        type > static_cast<std::uint8_t>(MsgType::kCancel)) {
+        type > static_cast<std::uint8_t>(MsgType::kChainSync)) {
       throw CodecError{"bad NetClone TYPE"};
     }
     const std::uint8_t clo = load_u8(p, 1);
@@ -108,6 +114,9 @@ struct NetCloneHeader {
     return type == MsgType::kRequest || type == MsgType::kWriteRequest;
   }
   [[nodiscard]] bool is_cancel() const { return type == MsgType::kCancel; }
+  [[nodiscard]] bool is_chain_sync() const {
+    return type == MsgType::kChainSync;
+  }
   [[nodiscard]] bool is_write() const {
     return type == MsgType::kWriteRequest;
   }

@@ -104,9 +104,85 @@ TEST(FaultPlanParse, ActionNamesRoundTrip) {
   for (const FaultAction action :
        {FaultAction::kLinkDown, FaultAction::kDropRate,
         FaultAction::kServerCrash, FaultAction::kSwitchWipe,
-        FaultAction::kFilterStale}) {
+        FaultAction::kFilterStale, FaultAction::kAggFail,
+        FaultAction::kAggRejoin, FaultAction::kRackDown,
+        FaultAction::kRackUp}) {
     const std::string name = harness::fault_action_name(action);
     EXPECT_NE(name, "?");
+  }
+}
+
+TEST(FaultPlanParse, FatTreeActions) {
+  EXPECT_EQ(parse_fault_entry("at=2ms agg_fail agg1").action,
+            FaultAction::kAggFail);
+  EXPECT_EQ(parse_fault_entry("at=3ms agg_rejoin agg1").action,
+            FaultAction::kAggRejoin);
+  EXPECT_EQ(parse_fault_entry("at=1ms rack_down rack0").action,
+            FaultAction::kRackDown);
+  EXPECT_EQ(parse_fault_entry("at=2ms rack_up rack0").action,
+            FaultAction::kRackUp);
+  EXPECT_EQ(parse_fault_entry("at=2ms agg_fail agg12").target, "agg12");
+}
+
+TEST(FaultPlanParse, FatTreeTargetRejections) {
+  // Indexed targets are validated at parse time so a typo names the key
+  // instead of exploding at fire time.
+  EXPECT_THROW((void)parse_fault_entry("at=2ms agg_fail s0"),
+               FaultPlanError);
+  EXPECT_THROW((void)parse_fault_entry("at=2ms agg_fail agg"),
+               FaultPlanError);
+  EXPECT_THROW((void)parse_fault_entry("at=2ms agg_fail aggX"),
+               FaultPlanError);
+  EXPECT_THROW((void)parse_fault_entry("at=2ms agg_rejoin rack1"),
+               FaultPlanError);
+  EXPECT_THROW((void)parse_fault_entry("at=2ms rack_down agg0"),
+               FaultPlanError);
+  EXPECT_THROW((void)parse_fault_entry("at=2ms rack_down rack0x"),
+               FaultPlanError);
+  EXPECT_THROW((void)parse_fault_entry("at=2ms agg_fail agg0 0.5"),
+               FaultPlanError);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-line plan parsing: file/line/key diagnostics
+
+TEST(FaultPlanParse, MultiLinePlanWithCommentsAndBlanks) {
+  const harness::FaultPlan plan = harness::parse_fault_plan(
+      "# cluster-wide fault plan\n"
+      "\n"
+      "at=2ms agg_fail agg1      # kill the middle replica\n"
+      "  at=3500us agg_rejoin agg1\n"
+      "at=4ms rack_down rack0\n");
+  ASSERT_EQ(plan.events.size(), 3U);
+  EXPECT_EQ(plan.events[0].action, FaultAction::kAggFail);
+  EXPECT_EQ(plan.events[0].target, "agg1");
+  EXPECT_EQ(plan.events[1].at, SimTime::microseconds(3500.0));
+  EXPECT_EQ(plan.events[2].action, FaultAction::kRackDown);
+}
+
+TEST(FaultPlanParse, PlanErrorCarriesLineNumber) {
+  try {
+    (void)harness::parse_fault_plan(
+        "at=1ms server_crash s0\n"
+        "# fine so far\n"
+        "at=2ms melt_down agg0\n");
+    FAIL() << "expected FaultPlanError";
+  } catch (const FaultPlanError& err) {
+    const std::string what = err.what();
+    EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("melt_down"), std::string::npos) << what;
+  }
+}
+
+TEST(FaultPlanParse, PlanErrorCarriesSourceName) {
+  try {
+    (void)harness::parse_fault_plan("at=2ms agg_fail bogus\n", "plan.cfg");
+    FAIL() << "expected FaultPlanError";
+  } catch (const FaultPlanError& err) {
+    const std::string what = err.what();
+    EXPECT_NE(what.find("plan.cfg: line 1:"), std::string::npos) << what;
+    EXPECT_NE(what.find("agg_fail"), std::string::npos) << what;
+    EXPECT_NE(what.find("bogus"), std::string::npos) << what;
   }
 }
 

@@ -166,13 +166,15 @@ TEST(ScenarioParse, GeneratorKeyValidation) {
   EXPECT_NE(parse_error(tree + "hotspot_rack = 0\nhotspot_share = 1.5\n")
                 .find("hotspot_share"),
             std::string::npos);
-  // A hotspot needs a rack structure; faults need the single-rack
-  // harness; the fat tree is NetClone-only and needs >= 2 servers.
+  // A hotspot needs a rack structure; the fat tree is NetClone-only
+  // and needs >= 2 servers. Fault lines parse in fat-tree scenarios
+  // too — they route through MultiRackExperiment.
   EXPECT_NE(parse_error("hotspot_rack = 0\n").find("racks"),
             std::string::npos);
-  EXPECT_NE(parse_error(tree + "fault = at=2s switch_wipe sw0\n")
-                .find("single-rack"),
-            std::string::npos);
+  EXPECT_EQ(
+      parse_scenario(tree + "fault = at=2ms agg_fail agg0\n").faults.events
+          .size(),
+      1u);
   EXPECT_NE(parse_error(tree + "scheme = baseline\n").find("netclone"),
             std::string::npos);
   EXPECT_THROW((void)parse_scenario("racks = 1\nservers_per_rack = 1\n"),
